@@ -1,0 +1,83 @@
+// Hyperparameter sensitivity (paper section 3): "for larger iteration
+// counts and lower learning rates, LFO's accuracy improves somewhat (to
+// 95%). For larger tree sizes, LFO is prone to overfitting, which
+// decreases the accuracy (to 88%)."
+//
+// Output: CSV "config,iterations,learning_rate,num_leaves,
+// train_accuracy,eval_error".
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+
+using namespace lfo;
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv, {{"train-requests", "60000"},
+                                {"eval-requests", "60000"},
+                                {"seed", "1"},
+                                {"cache-fraction", "0.05"}});
+  std::cout << "# Ablation: GBDT hyperparameter sensitivity\n";
+  args.print(std::cout);
+
+  const auto train_n = args.get_u64("train-requests");
+  const auto eval_n = args.get_u64("eval-requests");
+  // Overfitting only shows when the evaluation window differs from the
+  // training window, so this trace places a content-mix reshuffle exactly
+  // at the train/eval boundary (the load-balancer shifts the paper's
+  // introduction describes).
+  trace::GeneratorConfig gen;
+  gen.num_requests = train_n + eval_n;
+  gen.seed = args.get_u64("seed");
+  gen.classes = trace::production_mix(0.05);
+  gen.drift.reshuffle_interval = train_n;
+  gen.drift.reshuffle_fraction = 0.4;
+  const auto trace = trace::generate_trace(gen);
+  const auto cache_size =
+      bench::scaled_cache_size(trace, args.get_double("cache-fraction"));
+
+  struct Variant {
+    std::string name;
+    std::uint32_t iterations;
+    double learning_rate;
+    std::uint32_t leaves;
+  };
+  const Variant variants[] = {
+      {"paper-default", 30, 0.1, 31},
+      {"more-iters-lower-lr", 100, 0.05, 31},
+      {"many-iters-low-lr", 200, 0.02, 31},
+      {"few-iters", 10, 0.1, 31},
+      {"big-trees", 30, 0.1, 255},
+      {"huge-trees", 30, 0.1, 1024},
+      {"tiny-trees", 30, 0.1, 8},
+  };
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"config", "iterations", "learning_rate", "num_leaves",
+              "train_accuracy", "eval_error"});
+  for (const auto& v : variants) {
+    auto config = bench::standard_lfo_config(cache_size);
+    config.gbdt.num_iterations = v.iterations;
+    config.gbdt.learning_rate = v.learning_rate;
+    config.gbdt.num_leaves = v.leaves;
+
+    const auto trained =
+        core::train_on_window(trace.window(0, train_n), config);
+    const auto eval_window = trace.window(train_n, eval_n);
+    const auto eval_opt = opt::compute_opt(eval_window, config.opt);
+    const auto confusion = core::evaluate_predictions(
+        *trained.model, eval_window, eval_opt, cache_size, config.cutoff);
+    csv.field(v.name)
+        .field(v.iterations)
+        .field(v.learning_rate)
+        .field(v.leaves)
+        .field(trained.train_accuracy)
+        .field(1.0 - confusion.accuracy())
+        .end_row();
+  }
+  std::cout << "# expected shape: more iterations with a lower learning "
+               "rate improves accuracy a little; very large trees overfit "
+               "and lose out-of-sample accuracy\n";
+  return 0;
+}

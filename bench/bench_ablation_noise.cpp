@@ -1,0 +1,64 @@
+// Noise-robustness ablation (paper §2.2): "we can likely decrease the
+// feature accuracy without affecting the learning results. In fact, it
+// has been shown that adding small amounts of noise can actually be
+// helpful in learning more robust models." We train with multiplicative
+// log-normal noise on the gap features and measure out-of-sample error
+// on a clean evaluation window.
+//
+// Output: CSV "noise_sigma,prediction_error,train_accuracy".
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "features/dataset_builder.hpp"
+#include "gbdt/gbdt.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+using namespace lfo;
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv, {{"train-requests", "60000"},
+                                {"eval-requests", "60000"},
+                                {"seed", "1"},
+                                {"cache-fraction", "0.05"}});
+  std::cout << "# Ablation: training-time gap-feature noise\n";
+  args.print(std::cout);
+
+  const auto train_n = args.get_u64("train-requests");
+  const auto eval_n = args.get_u64("eval-requests");
+  const auto trace =
+      bench::standard_trace(train_n + eval_n, args.get_u64("seed"));
+  const auto cache_size =
+      bench::scaled_cache_size(trace, args.get_double("cache-fraction"));
+  const auto config = bench::standard_lfo_config(cache_size);
+
+  const auto train_window = trace.window(0, train_n);
+  const auto eval_window = trace.window(train_n, eval_n);
+  const auto train_opt = opt::compute_opt(train_window, config.opt);
+  const auto eval_opt = opt::compute_opt(eval_window, config.opt);
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"noise_sigma", "prediction_error", "train_accuracy"});
+  for (const double sigma : {0.0, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    features::DatasetBuildOptions build;
+    build.features = config.features;
+    build.cache_size = cache_size;
+    build.gap_noise_sigma = sigma;
+    const auto data = features::build_dataset(train_window, train_opt, build);
+    const auto booster = gbdt::train(data, config.gbdt);
+    const core::LfoModel model(booster, config.features);
+    const auto confusion = core::evaluate_predictions(
+        model, eval_window, eval_opt, cache_size, config.cutoff);
+    csv.field(sigma)
+        .field(1.0 - confusion.accuracy())
+        .field(gbdt::accuracy(booster, data))
+        .end_row();
+  }
+  std::cout << "# expected shape: noise barely moves the error — decision "
+               "trees split on thresholds, so multiplicative gap noise "
+               "(which preserves order of magnitude) is nearly free. This "
+               "is the paper's point: feature accuracy can be reduced "
+               "without affecting the learning results\n";
+  return 0;
+}

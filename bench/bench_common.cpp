@@ -1,0 +1,93 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "util/strings.hpp"
+
+namespace lfo::bench {
+
+Args::Args(int argc, char** argv,
+           std::map<std::string, std::string> defaults)
+    : values_(std::move(defaults)) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected argument: " << arg << '\n';
+      std::exit(2);
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      std::cerr << "expected --key=value: " << arg << '\n';
+      std::exit(2);
+    }
+    const std::string key(arg.substr(2, eq - 2));
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::cerr << "unknown option --" << key << "; known options:";
+      for (const auto& [k, v] : values_) std::cerr << " --" << k;
+      std::cerr << '\n';
+      std::exit(2);
+    }
+    it->second = std::string(arg.substr(eq + 1));
+  }
+}
+
+std::uint64_t Args::get_u64(const std::string& key) const {
+  const auto v = util::parse_uint(values_.at(key));
+  if (!v) {
+    std::cerr << "option --" << key << " is not an integer\n";
+    std::exit(2);
+  }
+  return *v;
+}
+
+double Args::get_double(const std::string& key) const {
+  const auto v = util::parse_double(values_.at(key));
+  if (!v) {
+    std::cerr << "option --" << key << " is not a number\n";
+    std::exit(2);
+  }
+  return *v;
+}
+
+std::string Args::get_string(const std::string& key) const {
+  return values_.at(key);
+}
+
+void Args::print(std::ostream& os) const {
+  for (const auto& [k, v] : values_) os << "# " << k << "=" << v << '\n';
+}
+
+trace::Trace standard_trace(std::uint64_t num_requests, std::uint64_t seed,
+                            trace::CostModel cost_model) {
+  trace::GeneratorConfig config;
+  config.num_requests = num_requests;
+  config.seed = seed;
+  config.cost_model = cost_model;
+  config.classes = trace::production_mix(0.05);
+  // Mild drift: popularity reshuffles model the load-balancer induced
+  // content-mix changes the paper highlights.
+  config.drift.reshuffle_interval = num_requests / 8 + 1;
+  config.drift.reshuffle_fraction = 0.05;
+  return trace::generate_trace(config);
+}
+
+core::LfoConfig standard_lfo_config(std::uint64_t cache_size) {
+  core::LfoConfig config;
+  config.set_cache_size(cache_size);
+  config.opt.mode = opt::OptMode::kGreedyPacking;
+  config.features.num_gaps = 50;
+  config.gbdt = gbdt::Params::paper_defaults();
+  return config;
+}
+
+std::uint64_t scaled_cache_size(const trace::Trace& trace, double fraction) {
+  const auto bytes =
+      static_cast<std::uint64_t>(static_cast<double>(trace.unique_bytes()) *
+                                 fraction);
+  return std::max<std::uint64_t>(1, bytes);
+}
+
+}  // namespace lfo::bench

@@ -1,0 +1,51 @@
+#ifndef LFO_BENCH_COMMON_HPP
+#define LFO_BENCH_COMMON_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/lfo_model.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace.hpp"
+
+namespace lfo::bench {
+
+/// Tiny --key=value command-line parser shared by the figure harnesses.
+/// Unknown keys abort with a usage message listing the known ones.
+class Args {
+ public:
+  Args(int argc, char** argv,
+       std::map<std::string, std::string> defaults);
+
+  std::uint64_t get_u64(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  std::string get_string(const std::string& key) const;
+
+  /// Echo the effective configuration (one "# key=value" line each).
+  void print(std::ostream& os) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// The standard synthetic CDN workload used by all figure benches:
+/// production content mix (web/photo/video/download) with mild popularity
+/// drift, substituting for the paper's proprietary 500M-request trace.
+/// The cost model defaults to BHR (cost = size, paper §2.1); OHR-focused
+/// experiments (Fig 1) pass kObjectHitRatio.
+trace::Trace standard_trace(
+    std::uint64_t num_requests, std::uint64_t seed,
+    trace::CostModel cost_model = trace::CostModel::kByteHitRatio);
+
+/// Default LFO configuration for the benches: greedy-packing OPT labels,
+/// 50 gap features, paper GBDT settings (30 iterations).
+core::LfoConfig standard_lfo_config(std::uint64_t cache_size);
+
+/// Cache size as a fraction of the trace's unique bytes — the benches
+/// scale the paper's 256 GB / multi-TB-footprint ratio down proportionally.
+std::uint64_t scaled_cache_size(const trace::Trace& trace, double fraction);
+
+}  // namespace lfo::bench
+
+#endif  // LFO_BENCH_COMMON_HPP

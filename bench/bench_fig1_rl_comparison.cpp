@@ -1,0 +1,40 @@
+// Figure 1 of the paper: object hit ratio of model-free RL caching (RLC,
+// after Lecuyer et al. HotNets'17) against random (RND), LRU, and the GDSF
+// heuristic. The paper's point: RLC lands in the RND/LRU league and a
+// simple heuristic beats all three.
+//
+// Output: CSV series "policy,ohr,bhr".
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cache/factory.hpp"
+#include "sim/simulator.hpp"
+#include "util/csv.hpp"
+
+using namespace lfo;
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv, {{"requests", "200000"},
+                                {"seed", "1"},
+                                {"cache-fraction", "0.05"}});
+  std::cout << "# Figure 1: RL-based caching vs heuristics (OHR)\n";
+  args.print(std::cout);
+
+  // Fig 1 is an OHR experiment: unit retrieval costs (paper §2.1).
+  const auto trace =
+      bench::standard_trace(args.get_u64("requests"), args.get_u64("seed"),
+                            trace::CostModel::kObjectHitRatio);
+  const auto cache_size =
+      bench::scaled_cache_size(trace, args.get_double("cache-fraction"));
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"policy", "ohr", "bhr"});
+  for (const auto* name : {"Random", "LRU", "RLC", "GDSF"}) {
+    auto policy = cache::make_policy(name, cache_size, args.get_u64("seed"));
+    const auto r = sim::simulate_policy(*policy, trace);
+    csv.field(name).field(r.ohr).field(r.bhr).end_row();
+  }
+  std::cout << "# expected shape: RND ~ LRU ~ RLC, all below GDSF\n";
+  return 0;
+}

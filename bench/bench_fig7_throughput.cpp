@@ -1,0 +1,112 @@
+// Figure 7: prediction throughput (million requests/second) as a function
+// of the number of predictor threads. The paper measures ~300K
+// predictions/s on one thread with near-linear scaling to 44 threads, and
+// notes that two threads suffice for a 40 Gbit/s link at a 32 KB mean
+// object size.
+//
+// Output: CSV "threads,million_reqs_per_sec,per_thread" plus the derived
+// link-utilization figures. (On this container the thread sweep exercises
+// the same code path as the paper's 44-core testbed; absolute scaling is
+// bounded by the available cores.)
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "features/dataset_builder.hpp"
+#include "util/csv.hpp"
+
+using namespace lfo;
+
+namespace {
+
+/// Run `rows` predictions split across `threads` workers; returns seconds.
+double timed_predict(const core::LfoModel& model,
+                     const gbdt::Dataset& dataset, unsigned threads,
+                     std::uint64_t repeats) {
+  std::atomic<double> sink{0.0};  // defeats dead-code elimination
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      double local = 0.0;
+      for (std::uint64_t rep = 0; rep < repeats; ++rep) {
+        for (std::size_t i = w; i < dataset.num_rows(); i += threads) {
+          local += model.predict(dataset.row(i));
+        }
+      }
+      sink.fetch_add(local);
+    });
+  }
+  for (auto& t : workers) t.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv, {{"train-requests", "50000"},
+                                {"predict-requests", "100000"},
+                                {"repeats", "3"},
+                                {"seed", "1"},
+                                {"max-threads", "8"},
+                                {"cache-fraction", "0.05"}});
+  std::cout << "# Figure 7: prediction throughput vs threads\n";
+  args.print(std::cout);
+
+  const auto train_n = args.get_u64("train-requests");
+  const auto predict_n = args.get_u64("predict-requests");
+  const auto trace =
+      bench::standard_trace(train_n + predict_n, args.get_u64("seed"));
+  const auto cache_size =
+      bench::scaled_cache_size(trace, args.get_double("cache-fraction"));
+  const auto config = bench::standard_lfo_config(cache_size);
+
+  const auto trained = core::train_on_window(trace.window(0, train_n), config);
+
+  // Materialize the prediction workload's feature rows once: the bench
+  // isolates predictor cost, matching the paper's measurement.
+  const auto eval_window = trace.window(train_n, predict_n);
+  const auto eval_opt = opt::compute_opt(eval_window, config.opt);
+  features::DatasetBuildOptions build;
+  build.features = config.features;
+  build.cache_size = cache_size;
+  const auto dataset = features::build_dataset(eval_window, eval_opt, build);
+
+  const auto repeats = args.get_u64("repeats");
+  const auto hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "# hardware_concurrency=" << hw << '\n';
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"threads", "million_reqs_per_sec", "per_thread_mreqs"});
+  double single_thread = 0.0;
+  for (unsigned threads = 1; threads <= args.get_u64("max-threads");
+       threads *= 2) {
+    const double secs = timed_predict(*trained.model, dataset, threads,
+                                      repeats);
+    const double total = static_cast<double>(dataset.num_rows()) *
+                         static_cast<double>(repeats);
+    const double mrps = total / secs / 1e6;
+    if (threads == 1) single_thread = mrps;
+    csv.field(threads).field(mrps).field(mrps / threads).end_row();
+  }
+
+  // Link-rate arithmetic from the paper: 40 Gbit/s at 32 KB objects needs
+  // 40e9 / 8 / 32768 ~ 152K predictions/s.
+  const double needed_40g = 40e9 / 8.0 / 32768.0 / 1e6;
+  std::cout << "# 40 Gbit/s at 32KB objects needs " << needed_40g
+            << " M reqs/s; one thread delivers " << single_thread
+            << " M reqs/s => " << (single_thread >= needed_40g
+                                       ? "a single thread suffices"
+                                       : "multiple threads required")
+            << '\n';
+  std::cout << "# expected shape: hundreds of K reqs/s per thread; "
+               "near-linear scaling up to the physical core count\n";
+  return 0;
+}

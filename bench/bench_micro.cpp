@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) of the performance-critical pieces:
+// min-cost-flow solves, greedy OPT packing, GBDT training and prediction,
+// feature extraction, and per-request policy costs.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/factory.hpp"
+#include "core/lfo_model.hpp"
+#include "features/dataset_builder.hpp"
+#include "gbdt/gbdt.hpp"
+#include "opt/opt.hpp"
+#include "trace/generator.hpp"
+#include "trace/zipf.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lfo;
+
+const trace::Trace& micro_trace() {
+  static const trace::Trace t = [] {
+    trace::GeneratorConfig config;
+    config.num_requests = 50000;
+    config.seed = 7;
+    config.classes = trace::production_mix(0.05);
+    return trace::generate_trace(config);
+  }();
+  return t;
+}
+
+void BM_MinCostFlowExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto window = micro_trace().window(0, n);
+  opt::OptConfig config;
+  config.cache_size = micro_trace().unique_bytes() / 16;
+  config.mode = opt::OptMode::kExactMcf;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::compute_opt(window, config));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MinCostFlowExact)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_GreedyPackingOpt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto window = micro_trace().window(0, n);
+  opt::OptConfig config;
+  config.cache_size = micro_trace().unique_bytes() / 16;
+  config.mode = opt::OptMode::kGreedyPacking;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::compute_opt(window, config));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GreedyPackingOpt)->Arg(2000)->Arg(10000)->Arg(50000);
+
+void BM_GbdtTrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto window = micro_trace().window(0, n);
+  core::LfoConfig config;
+  config.set_cache_size(micro_trace().unique_bytes() / 16);
+  const auto opt = opt::compute_opt(window, config.opt);
+  features::DatasetBuildOptions build;
+  build.features = config.features;
+  build.cache_size = config.cache_size;
+  const auto data = features::build_dataset(window, opt, build);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gbdt::train(data, config.gbdt));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GbdtTrain)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_Predict(benchmark::State& state) {
+  const auto window = micro_trace().window(0, 20000);
+  core::LfoConfig config;
+  config.set_cache_size(micro_trace().unique_bytes() / 16);
+  const auto trained = core::train_on_window(window, config);
+  std::vector<float> row(config.features.dimension(), 1.0f);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    row[0] = static_cast<float>(rng.uniform(1 << 20));
+    row[3] = static_cast<float>(rng.uniform(1 << 16));
+    benchmark::DoNotOptimize(trained.model->predict(row));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Predict);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  features::FeatureExtractor extractor{features::FeatureConfig{}};
+  std::vector<float> row(extractor.dimension());
+  const auto& t = micro_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& r = t[i % t.size()];
+    extractor.extract(r, i, 1 << 20, row);
+    extractor.observe(r, i);
+    benchmark::DoNotOptimize(row.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_PolicyAccess(benchmark::State& state, const char* name) {
+  const auto& t = micro_trace();
+  auto policy = cache::make_policy(name, t.unique_bytes() / 16, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->access(t[i % t.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_PolicyAccess, lru, "LRU");
+BENCHMARK_CAPTURE(BM_PolicyAccess, s4lru, "S4LRU");
+BENCHMARK_CAPTURE(BM_PolicyAccess, gdsf, "GDSF");
+BENCHMARK_CAPTURE(BM_PolicyAccess, gdwheel, "GD-Wheel");
+BENCHMARK_CAPTURE(BM_PolicyAccess, lhd, "LHD");
+BENCHMARK_CAPTURE(BM_PolicyAccess, hyperbolic, "Hyperbolic");
+
+void BM_ZipfSample(benchmark::State& state) {
+  trace::ZipfSampler z(1000000, 0.9);
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Section 2.1 claim: splitting the request set along the ranking axis
+// (C_i / (S_i * L_i)) "saves 90% of the calculation time by running the
+// algorithm only for popular requests". This harness quantifies the
+// time/quality trade-off of every OPT mode against the exact min-cost
+// flow, including the rank-keep-fraction sweep.
+//
+// Output: CSV "mode,param,seconds,speedup_vs_exact,bhr,bhr_fraction_of_exact".
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "opt/opt.hpp"
+#include "util/csv.hpp"
+
+using namespace lfo;
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv, {{"requests", "5000"},
+                                {"seed", "1"},
+                                {"cache-fraction", "0.1"}});
+  std::cout << "# OPT approximation speedups (paper section 2.1)\n";
+  args.print(std::cout);
+
+  const auto trace =
+      bench::standard_trace(args.get_u64("requests"), args.get_u64("seed"));
+  const auto cache_size =
+      bench::scaled_cache_size(trace, args.get_double("cache-fraction"));
+  const std::span<const trace::Request> reqs(trace.requests());
+
+  opt::OptConfig base;
+  base.cache_size = cache_size;
+  base.mode = opt::OptMode::kExactMcf;
+  const auto exact = opt::compute_opt(reqs, base);
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"mode", "param", "seconds", "speedup_vs_exact", "bhr",
+              "bhr_fraction_of_exact"});
+  const auto emit = [&](const std::string& mode, const std::string& param,
+                        const opt::OptDecisions& d) {
+    csv.field(mode)
+        .field(param)
+        .field(d.solve_seconds)
+        .field(exact.solve_seconds / std::max(1e-9, d.solve_seconds))
+        .field(d.bhr)
+        .field(d.bhr / std::max(1e-12, exact.bhr))
+        .end_row();
+  };
+  emit("exact-mcf", "-", exact);
+
+  for (const double keep : {0.1, 0.2, 0.4, 0.6, 0.8}) {
+    auto config = base;
+    config.mode = opt::OptMode::kRankSplitMcf;
+    config.rank_keep_fraction = keep;
+    emit("rank-split-mcf", std::to_string(keep),
+         opt::compute_opt(reqs, config));
+  }
+  for (const std::size_t segment : {512u, 1024u, 2048u}) {
+    auto config = base;
+    config.mode = opt::OptMode::kIntervalSplitMcf;
+    config.segment_length = segment;
+    emit("interval-split-mcf", std::to_string(segment),
+         opt::compute_opt(reqs, config));
+  }
+  {
+    auto config = base;
+    config.mode = opt::OptMode::kGreedyPacking;
+    emit("greedy-packing", "-", opt::compute_opt(reqs, config));
+  }
+
+  std::cout << "# expected shape: rank-splitting cuts solve time by ~10x "
+               "at moderate keep fractions; greedy packing is orders of "
+               "magnitude faster and matches or beats the strict integral "
+               "reading of the exact flow\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "cache/adaptsize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lfo::cache {
+
+AdaptSizeCache::AdaptSizeCache(std::uint64_t capacity,
+                               std::uint64_t tuning_interval,
+                               std::uint64_t seed)
+    : LruCache(capacity),
+      tuning_interval_(tuning_interval),
+      next_tuning_(tuning_interval),
+      // Initial threshold: a generous fraction of the cache so that early
+      // admissions are near-unfiltered until statistics accumulate.
+      c_(static_cast<double>(capacity) / 100.0),
+      rng_(seed) {}
+
+void AdaptSizeCache::observe(const trace::Request& request) {
+  auto& stat = window_[request.object];
+  stat.size = request.size;
+  ++stat.count;
+  ++window_requests_;
+  maybe_tune();
+}
+
+void AdaptSizeCache::on_hit(const trace::Request& request) {
+  observe(request);
+  LruCache::on_hit(request);
+}
+
+void AdaptSizeCache::on_miss(const trace::Request& request) {
+  observe(request);
+  // Probabilistic size-aware admission.
+  const double admit_probability =
+      std::exp(-static_cast<double>(request.size) / c_);
+  if (!rng_.bernoulli(admit_probability)) return;
+  LruCache::on_miss(request);
+}
+
+void AdaptSizeCache::maybe_tune() {
+  if (clock() < next_tuning_) return;
+  next_tuning_ = clock() + tuning_interval_;
+  if (window_.size() < 16) return;
+
+  // Geometric grid over plausible c values: from the smallest object
+  // granularity up to the full cache size.
+  double best_c = c_;
+  double best_ohr = -1.0;
+  for (double c = 64.0; c <= static_cast<double>(capacity()) * 2.0;
+       c *= 2.0) {
+    const double ohr = model_ohr(c);
+    if (ohr > best_ohr) {
+      best_ohr = ohr;
+      best_c = c;
+    }
+  }
+  c_ = best_c;
+  // Age the window so the model tracks drift (keep counts, halve them).
+  for (auto it = window_.begin(); it != window_.end();) {
+    it->second.count /= 2;
+    it = it->second.count == 0 ? window_.erase(it) : std::next(it);
+  }
+  window_requests_ /= 2;
+}
+
+double AdaptSizeCache::model_ohr(double c) const {
+  // Che approximation with admission: object i with request rate
+  // lambda_i (per request) and admission probability a_i = e^{-s_i/c} is
+  // in cache with probability
+  //   p_in(i) = a_i * (1 - e^{-lambda_i * T})
+  // where the characteristic time T solves sum_i s_i * p_in(i) = capacity.
+  const double total = static_cast<double>(window_requests_);
+  if (total <= 0) return 0.0;
+
+  const auto occupied = [&](double t) {
+    double bytes = 0.0;
+    for (const auto& [id, st] : window_) {
+      const double lambda = static_cast<double>(st.count) / total;
+      const double admit = std::exp(-static_cast<double>(st.size) / c);
+      bytes += static_cast<double>(st.size) * admit *
+               (1.0 - std::exp(-lambda * t));
+    }
+    return bytes;
+  };
+
+  // Bisection for T in requests (characteristic time).
+  double lo = 1.0;
+  double hi = total * 64.0;
+  if (occupied(hi) < static_cast<double>(capacity())) {
+    // Everything fits: every admitted object stays resident.
+    double hits = 0.0;
+    for (const auto& [id, st] : window_) {
+      const double lambda = static_cast<double>(st.count) / total;
+      hits += lambda * std::exp(-static_cast<double>(st.size) / c);
+    }
+    return hits;
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (occupied(mid) < static_cast<double>(capacity())) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double t = 0.5 * (lo + hi);
+
+  double ohr = 0.0;
+  for (const auto& [id, st] : window_) {
+    const double lambda = static_cast<double>(st.count) / total;
+    const double admit = std::exp(-static_cast<double>(st.size) / c);
+    ohr += lambda * admit * (1.0 - std::exp(-lambda * t));
+  }
+  return ohr;
+}
+
+}  // namespace lfo::cache

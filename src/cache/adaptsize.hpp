@@ -1,0 +1,56 @@
+#ifndef LFO_CACHE_ADAPTSIZE_HPP
+#define LFO_CACHE_ADAPTSIZE_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/lru.hpp"
+#include "util/rng.hpp"
+
+namespace lfo::cache {
+
+/// AdaptSize [Berger, Sitaraman & Harchol-Balter, NSDI 2017]: an LRU cache
+/// with probabilistic size-aware admission. An object of size s is
+/// admitted with probability e^{-s/c}; the size threshold c is re-tuned
+/// every `tuning_interval` requests by maximizing the object hit ratio
+/// predicted by a Markov (Che-approximation) model of the recent request
+/// mix, exactly the structure of the original system (we search a
+/// geometric grid of c candidates instead of its golden-section search).
+class AdaptSizeCache : public LruCache {
+ public:
+  AdaptSizeCache(std::uint64_t capacity,
+                 std::uint64_t tuning_interval = 1 << 16,
+                 std::uint64_t seed = 1);
+
+  std::string name() const override { return "AdaptSize"; }
+
+  double admission_parameter() const { return c_; }
+
+ protected:
+  void on_miss(const trace::Request& request) override;
+  void on_hit(const trace::Request& request) override;
+
+ private:
+  void observe(const trace::Request& request);
+  void maybe_tune();
+  /// Predicted OHR of admission parameter `c` under the Che approximation
+  /// for the recorded request mix.
+  double model_ohr(double c) const;
+
+  std::uint64_t tuning_interval_;
+  std::uint64_t next_tuning_;
+  double c_;
+  util::Rng rng_;
+
+  // Recent-window object statistics for the tuning model.
+  struct ObjStat {
+    std::uint64_t size = 0;
+    std::uint64_t count = 0;
+  };
+  std::unordered_map<trace::ObjectId, ObjStat> window_;
+  std::uint64_t window_requests_ = 0;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_ADAPTSIZE_HPP

@@ -1,0 +1,133 @@
+#include "cache/arc.hpp"
+
+#include <algorithm>
+
+namespace lfo::cache {
+
+ArcCache::ArcCache(std::uint64_t capacity) : CachePolicy(capacity) {}
+
+bool ArcCache::contains(trace::ObjectId object) const {
+  const auto it = map_.find(object);
+  if (it == map_.end()) return false;
+  const auto list = it->second->list;
+  return list == ListId::kT1 || list == ListId::kT2;
+}
+
+void ArcCache::clear() {
+  t1_.clear();
+  t2_.clear();
+  b1_.clear();
+  b2_.clear();
+  t1_bytes_ = t2_bytes_ = b1_bytes_ = b2_bytes_ = 0;
+  p_ = 0;
+  map_.clear();
+  sub_used(used_bytes());
+}
+
+ArcCache::List& ArcCache::list_of(ListId id) {
+  switch (id) {
+    case ListId::kT1: return t1_;
+    case ListId::kT2: return t2_;
+    case ListId::kB1: return b1_;
+    case ListId::kB2: return b2_;
+  }
+  return t1_;
+}
+
+std::uint64_t& ArcCache::bytes_of(ListId id) {
+  switch (id) {
+    case ListId::kT1: return t1_bytes_;
+    case ListId::kT2: return t2_bytes_;
+    case ListId::kB1: return b1_bytes_;
+    case ListId::kB2: return b2_bytes_;
+  }
+  return t1_bytes_;
+}
+
+void ArcCache::remove(
+    std::unordered_map<trace::ObjectId, List::iterator>::iterator map_it) {
+  const auto entry_it = map_it->second;
+  const auto id = entry_it->list;
+  bytes_of(id) -= entry_it->size;
+  if (id == ListId::kT1 || id == ListId::kT2) sub_used(entry_it->size);
+  list_of(id).erase(entry_it);
+  map_.erase(map_it);
+}
+
+void ArcCache::push_mru(ListId id, trace::ObjectId object,
+                        std::uint64_t size) {
+  auto& list = list_of(id);
+  list.push_front({object, size, id});
+  map_[object] = list.begin();
+  bytes_of(id) += size;
+  if (id == ListId::kT1 || id == ListId::kT2) add_used(size);
+}
+
+void ArcCache::replace(std::uint64_t needed, bool b2_hit) {
+  while (t1_bytes_ + t2_bytes_ + needed > capacity() &&
+         (!t1_.empty() || !t2_.empty())) {
+    const bool demote_t1 =
+        !t1_.empty() &&
+        (t1_bytes_ > p_ || (b2_hit && t1_bytes_ == p_) || t2_.empty());
+    auto& source = demote_t1 ? t1_ : t2_;
+    const auto ghost = demote_t1 ? ListId::kB1 : ListId::kB2;
+    const Entry victim = source.back();
+    remove(map_.find(victim.object));
+    push_mru(ghost, victim.object, victim.size);
+  }
+  trim_ghosts();
+}
+
+void ArcCache::trim_ghosts() {
+  // Classic ARC invariant scaled to bytes: |T1|+|B1| <= c and the four
+  // lists together hold at most 2c.
+  while (t1_bytes_ + b1_bytes_ > capacity() && !b1_.empty()) {
+    remove(map_.find(b1_.back().object));
+  }
+  while (t1_bytes_ + t2_bytes_ + b1_bytes_ + b2_bytes_ > 2 * capacity() &&
+         !b2_.empty()) {
+    remove(map_.find(b2_.back().object));
+  }
+}
+
+void ArcCache::on_hit(const trace::Request& request) {
+  // Resident hit: promote to T2's MRU position.
+  const auto it = map_.find(request.object);
+  const auto size = it->second->size;
+  remove(it);
+  replace(size, false);
+  push_mru(ListId::kT2, request.object, size);
+}
+
+void ArcCache::on_miss(const trace::Request& request) {
+  if (request.size > capacity()) return;
+  const auto it = map_.find(request.object);
+  if (it != map_.end() && it->second->list == ListId::kB1) {
+    // Ghost hit in B1: recency list was too small; grow p.
+    p_ = std::min(capacity(), p_ + std::max<std::uint64_t>(
+                                       request.size,
+                                       b2_bytes_ / std::max<std::uint64_t>(
+                                                       1, b1_.size())));
+    remove(it);
+    replace(request.size, false);
+    push_mru(ListId::kT2, request.object, request.size);
+    return;
+  }
+  if (it != map_.end() && it->second->list == ListId::kB2) {
+    // Ghost hit in B2: frequency list was too small; shrink p.
+    const auto delta = std::max<std::uint64_t>(
+        request.size,
+        b1_bytes_ / std::max<std::uint64_t>(1, b2_.size()));
+    p_ = p_ > delta ? p_ - delta : 0;
+    remove(it);
+    replace(request.size, true);
+    push_mru(ListId::kT2, request.object, request.size);
+    return;
+  }
+  // Brand-new object: into T1.
+  replace(request.size, false);
+  push_mru(ListId::kT1, request.object, request.size);
+  trim_ghosts();
+}
+
+}  // namespace lfo::cache

@@ -1,0 +1,63 @@
+#ifndef LFO_CACHE_ARC_HPP
+#define LFO_CACHE_ARC_HPP
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace lfo::cache {
+
+/// ARC — Adaptive Replacement Cache [Megiddo & Modha, FAST 2003], adapted
+/// to variable object sizes (budgets and the adaptation target p are in
+/// bytes rather than pages, as in webcachesim's variant).
+///
+/// Two resident LRU lists: T1 (seen once recently) and T2 (seen at least
+/// twice); two ghost lists B1/B2 remember recently evicted ids. A ghost
+/// hit in B1 means T1 was too small (grow p); a ghost hit in B2 means T2
+/// was too small (shrink p). ARC thereby self-tunes between recency and
+/// frequency — a classical "hand-tuned parameters removed" baseline that
+/// predates the learning approaches the paper surveys.
+class ArcCache : public CachePolicy {
+ public:
+  explicit ArcCache(std::uint64_t capacity);
+
+  std::string name() const override { return "ARC"; }
+  bool contains(trace::ObjectId object) const override;
+  void clear() override;
+
+  /// Current adaptation target for T1, in bytes (diagnostics).
+  std::uint64_t target_t1() const { return p_; }
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  enum class ListId { kT1, kT2, kB1, kB2 };
+  struct Entry {
+    trace::ObjectId object;
+    std::uint64_t size;
+    ListId list;
+  };
+  using List = std::list<Entry>;
+
+  List& list_of(ListId id);
+  std::uint64_t& bytes_of(ListId id);
+  void remove(std::unordered_map<trace::ObjectId, List::iterator>::iterator
+                  map_it);
+  void push_mru(ListId id, trace::ObjectId object, std::uint64_t size);
+  /// Demote the LRU of T1 or T2 (per the ARC rule) into its ghost list
+  /// until `needed` bytes fit among the resident lists.
+  void replace(std::uint64_t needed, bool b2_hit);
+  void trim_ghosts();
+
+  List t1_, t2_, b1_, b2_;
+  std::uint64_t t1_bytes_ = 0, t2_bytes_ = 0, b1_bytes_ = 0, b2_bytes_ = 0;
+  std::uint64_t p_ = 0;  // target size of T1 in bytes
+  std::unordered_map<trace::ObjectId, List::iterator> map_;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_ARC_HPP

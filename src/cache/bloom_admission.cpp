@@ -1,0 +1,79 @@
+#include "cache/bloom_admission.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace lfo::cache {
+
+namespace {
+std::uint64_t mix64(std::uint64_t x, std::uint64_t salt) {
+  x += salt * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+RotatingBloomFilter::RotatingBloomFilter(std::size_t bits,
+                                         std::uint32_t hashes,
+                                         std::uint64_t rotation_period)
+    : hashes_(std::max(1u, hashes)),
+      rotation_period_(std::max<std::uint64_t>(1, rotation_period)) {
+  const std::size_t size = std::bit_ceil(std::max<std::size_t>(64, bits));
+  mask_ = size - 1;
+  active_.assign(size / 8, 0);
+  aged_.assign(size / 8, 0);
+}
+
+std::size_t RotatingBloomFilter::index(std::uint64_t key,
+                                       std::uint32_t probe) const {
+  return mix64(key, probe + 1) & mask_;
+}
+
+bool RotatingBloomFilter::contains(std::uint64_t key) const {
+  bool in_active = true;
+  bool in_aged = true;
+  for (std::uint32_t p = 0; p < hashes_; ++p) {
+    const auto i = index(key, p);
+    if (!(active_[i / 8] & (1u << (i % 8)))) in_active = false;
+    if (!(aged_[i / 8] & (1u << (i % 8)))) in_aged = false;
+    if (!in_active && !in_aged) return false;
+  }
+  return in_active || in_aged;
+}
+
+void RotatingBloomFilter::insert(std::uint64_t key) {
+  for (std::uint32_t p = 0; p < hashes_; ++p) {
+    const auto i = index(key, p);
+    active_[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  ++insertions_;
+  if (++since_rotation_ >= rotation_period_) rotate();
+}
+
+void RotatingBloomFilter::rotate() {
+  since_rotation_ = 0;
+  aged_.swap(active_);
+  std::fill(active_.begin(), active_.end(), 0);
+}
+
+void RotatingBloomFilter::clear() {
+  std::fill(active_.begin(), active_.end(), 0);
+  std::fill(aged_.begin(), aged_.end(), 0);
+  since_rotation_ = 0;
+}
+
+SecondHitCache::SecondHitCache(std::uint64_t capacity,
+                               std::size_t filter_bits,
+                               std::uint64_t rotation_period)
+    : LruCache(capacity), filter_(filter_bits, 4, rotation_period) {}
+
+void SecondHitCache::on_miss(const trace::Request& request) {
+  if (!filter_.contains(request.object)) {
+    filter_.insert(request.object);  // first sighting: remember, bypass
+    return;
+  }
+  LruCache::on_miss(request);
+}
+
+}  // namespace lfo::cache

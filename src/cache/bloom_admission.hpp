@@ -1,0 +1,62 @@
+#ifndef LFO_CACHE_BLOOM_ADMISSION_HPP
+#define LFO_CACHE_BLOOM_ADMISSION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/lru.hpp"
+
+namespace lfo::cache {
+
+/// Rotating (aging) Bloom filter: two alternating bit arrays; inserts go
+/// to the active one, membership checks consult both, and the older array
+/// is cleared every `rotation_period` insertions. This is the classic
+/// CDN "cache on second hit" building block (Maggs & Sitaraman 2015).
+class RotatingBloomFilter {
+ public:
+  /// `bits` per array (rounded up to a power of two), `hashes` probes.
+  RotatingBloomFilter(std::size_t bits, std::uint32_t hashes,
+                      std::uint64_t rotation_period);
+
+  /// Was the key inserted within the last one-to-two rotation periods?
+  bool contains(std::uint64_t key) const;
+  void insert(std::uint64_t key);
+  void clear();
+
+  std::uint64_t insertions() const { return insertions_; }
+
+ private:
+  std::size_t index(std::uint64_t key, std::uint32_t probe) const;
+  void rotate();
+
+  std::size_t mask_;
+  std::uint32_t hashes_;
+  std::uint64_t rotation_period_;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t since_rotation_ = 0;
+  std::vector<std::uint8_t> active_;
+  std::vector<std::uint8_t> aged_;
+};
+
+/// LRU with second-hit admission: an object enters the cache only when it
+/// is requested for the (at least) second time within the filter's
+/// horizon. Filters out the one-hit wonders that dominate CDN traffic —
+/// the standard production admission rule LFO's learned admission is
+/// implicitly compared against.
+class SecondHitCache : public LruCache {
+ public:
+  SecondHitCache(std::uint64_t capacity, std::size_t filter_bits = 1 << 22,
+                 std::uint64_t rotation_period = 1 << 18);
+
+  std::string name() const override { return "SecondHit"; }
+
+ protected:
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  RotatingBloomFilter filter_;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_BLOOM_ADMISSION_HPP

@@ -1,0 +1,25 @@
+#ifndef LFO_CACHE_FACTORY_HPP
+#define LFO_CACHE_FACTORY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace lfo::cache {
+
+/// Create a policy by canonical name. Known names (case-sensitive):
+///   "Random", "FIFO", "LRU", "LRU-2" (any K via "LRU-<k>"), "LFU",
+///   "LFUDA", "S4LRU" (any S via "S<k>LRU"), "GDS", "GDSF", "GD-Wheel",
+///   "AdaptSize", "Hyperbolic", "LHD", "TinyLFU", "RLC", "Infinite".
+/// Throws std::invalid_argument for unknown names.
+CachePolicyPtr make_policy(const std::string& name, std::uint64_t capacity,
+                           std::uint64_t seed = 1);
+
+/// All canonical policy names (the Fig 6 line-up plus extensions).
+std::vector<std::string> policy_names();
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_FACTORY_HPP

@@ -1,0 +1,144 @@
+#include "cache/gd_wheel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lfo::cache {
+
+GdWheelCache::GdWheelCache(std::uint64_t capacity, double cost_per_unit)
+    : CachePolicy(capacity), cost_per_unit_(cost_per_unit) {
+  for (auto& wheel : wheels_) wheel.resize(kSlots);
+}
+
+bool GdWheelCache::contains(trace::ObjectId object) const {
+  return index_.count(object) != 0;
+}
+
+void GdWheelCache::clear() {
+  for (auto& wheel : wheels_) {
+    for (auto& slot : wheel) slot.clear();
+  }
+  occupied_.fill(0);
+  index_.clear();
+  hand_units_ = 0;
+  sub_used(used_bytes());
+}
+
+std::uint64_t GdWheelCache::quantize(double cost) {
+  if (cost_per_unit_ <= 0.0) {
+    // Auto-calibrate so typical costs land in the level-0 wheel.
+    cost_per_unit_ = std::max(cost / 64.0, 1e-9);
+  }
+  const double units = cost / cost_per_unit_;
+  const double max_units =
+      static_cast<double>(kSlots * kSlots * kSlots - 1);
+  return static_cast<std::uint64_t>(
+      std::clamp(units, 1.0, max_units));
+}
+
+GdWheelCache::Handle GdWheelCache::place(const Entry& entry) {
+  const std::uint64_t offset = entry.priority_units - hand_units_;
+  std::uint32_t level = 0;
+  std::uint64_t range = kSlots;
+  while (level + 1 < kLevels && offset >= range) {
+    range *= kSlots;
+    ++level;
+  }
+  std::uint64_t stride = 1;
+  for (std::uint32_t l = 0; l < level; ++l) stride *= kSlots;
+  const std::uint64_t slot = (entry.priority_units / stride) % kSlots;
+  auto& list = wheels_[level][slot];
+  list.push_front(entry);
+  ++occupied_[level];
+  return Handle{level, slot, list.begin()};
+}
+
+void GdWheelCache::remove(trace::ObjectId object) {
+  const auto it = index_.find(object);
+  if (it == index_.end()) return;
+  const auto& h = it->second;
+  --occupied_[h.level];
+  wheels_[h.level][h.slot].erase(h.it);
+  index_.erase(it);
+}
+
+void GdWheelCache::on_hit(const trace::Request& request) {
+  // Re-insert with refreshed priority L + cost.
+  const auto it = index_.find(request.object);
+  const std::uint64_t size = it->second.it->size;
+  remove(request.object);
+  Entry e{request.object, size, hand_units_ + quantize(request.cost)};
+  index_.emplace(request.object, place(e));
+}
+
+void GdWheelCache::on_miss(const trace::Request& request) {
+  if (request.size > capacity()) return;
+  while (free_bytes() < request.size) evict_one();
+  Entry e{request.object, request.size,
+          hand_units_ + quantize(request.cost)};
+  index_.emplace(request.object, place(e));
+  add_used(request.size);
+}
+
+bool GdWheelCache::migrate_down(std::uint32_t level) {
+  // Find the next occupied slot at `level` (>= the hand position) and
+  // redistribute its entries into level-1 wheels.
+  if (occupied_[level] == 0) return false;
+  std::uint64_t stride = 1;
+  for (std::uint32_t l = 0; l < level; ++l) stride *= kSlots;
+  for (std::uint64_t step = 0; step < kSlots; ++step) {
+    const std::uint64_t pos = hand_units_ / stride + step;
+    auto& slot = wheels_[level][pos % kSlots];
+    if (slot.empty()) continue;
+    // Advance the hand to the beginning of this slot's priority range so
+    // re-placement computes offsets relative to it.
+    hand_units_ = std::max(hand_units_, pos * stride);
+    occupied_[level] -= slot.size();
+    Slot pending;
+    pending.swap(slot);
+    for (auto& entry : pending) {
+      // Clamp stale priorities below the hand.
+      entry.priority_units = std::max(entry.priority_units, hand_units_);
+      index_[entry.object] = place(entry);
+    }
+    return true;
+  }
+  return false;
+}
+
+void GdWheelCache::evict_one() {
+  while (true) {
+    if (occupied_[0] > 0) {
+      for (std::uint64_t step = 0; step < kSlots; ++step) {
+        const std::uint64_t pos = hand_units_ + step;
+        auto& slot = wheels_[0][pos % kSlots];
+        if (slot.empty()) continue;
+        hand_units_ = pos;  // inflation: L advances to victim priority
+        const Entry victim = slot.back();
+        slot.pop_back();
+        --occupied_[0];
+        index_.erase(victim.object);
+        sub_used(victim.size);
+        return;
+      }
+      // Level 0 occupied but beyond the current window: fall through and
+      // advance via migration.
+      hand_units_ += kSlots;
+      continue;
+    }
+    // Pull work down from higher levels.
+    bool migrated = false;
+    for (std::uint32_t level = 1; level < kLevels; ++level) {
+      if (migrate_down(level)) {
+        migrated = true;
+        break;
+      }
+    }
+    if (!migrated) {
+      // Nothing cached at all — caller guarantees this cannot happen.
+      return;
+    }
+  }
+}
+
+}  // namespace lfo::cache

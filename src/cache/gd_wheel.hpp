@@ -1,0 +1,71 @@
+#ifndef LFO_CACHE_GD_WHEEL_HPP
+#define LFO_CACHE_GD_WHEEL_HPP
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace lfo::cache {
+
+/// GD-Wheel [Li & Cox, EuroSys 2015]: Greedy-Dual replacement made O(1)
+/// with hierarchical cost wheels (the timing-wheel trick applied to the
+/// priority space). An object's priority is L + cost, with cost quantized
+/// into wheel units; the global hand position implements the inflation
+/// value L without re-sorting.
+///
+/// We use `kLevels` wheels of `kSlots` slots each. Level l covers priority
+/// offsets in units of kSlots^l; when the level-0 wheel is exhausted the
+/// next occupied level-1 slot is migrated (re-hashed) down, exactly as in
+/// the paper.
+class GdWheelCache : public CachePolicy {
+ public:
+  /// cost_per_unit quantizes request costs into wheel units; <= 0 selects
+  /// auto-calibration from the first admitted request (cost/64).
+  GdWheelCache(std::uint64_t capacity, double cost_per_unit = 0.0);
+
+  std::string name() const override { return "GD-Wheel"; }
+  bool contains(trace::ObjectId object) const override;
+  void clear() override;
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  static constexpr std::uint32_t kLevels = 3;
+  static constexpr std::uint64_t kSlots = 256;
+
+  struct Entry {
+    trace::ObjectId object;
+    std::uint64_t size;
+    std::uint64_t priority_units;  // absolute priority in wheel units
+  };
+  using Slot = std::list<Entry>;
+  struct Handle {
+    std::uint32_t level;
+    std::uint64_t slot;
+    Slot::iterator it;
+  };
+
+  std::uint64_t quantize(double cost);
+  /// Slot coordinates for an absolute priority given the current hand.
+  Handle place(const Entry& entry);
+  void remove(trace::ObjectId object);
+  void evict_one();
+  /// Move entries of the next occupied higher-level slot down a level.
+  bool migrate_down(std::uint32_t level);
+
+  double cost_per_unit_;
+  std::uint64_t hand_units_ = 0;  // the global "L" in wheel units
+  std::array<std::vector<Slot>, kLevels> wheels_;
+  std::array<std::uint64_t, kLevels> occupied_{};  // entries per level
+  std::unordered_map<trace::ObjectId, Handle> index_;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_GD_WHEEL_HPP

@@ -1,0 +1,58 @@
+#include "cache/greedy_dual.hpp"
+
+namespace lfo::cache {
+
+GreedyDualCache::GreedyDualCache(std::uint64_t capacity,
+                                 GreedyDualVariant variant)
+    : CachePolicy(capacity), variant_(variant) {}
+
+bool GreedyDualCache::contains(trace::ObjectId object) const {
+  return entries_.count(object) != 0;
+}
+
+void GreedyDualCache::clear() {
+  entries_.clear();
+  order_.clear();
+  inflation_ = 0.0;
+  sub_used(used_bytes());
+}
+
+double GreedyDualCache::priority_for(const trace::Request& request,
+                                     std::uint64_t frequency) const {
+  const double value_per_byte =
+      request.cost / static_cast<double>(request.size);
+  const double freq_term = variant_ == GreedyDualVariant::kGdsf
+                               ? static_cast<double>(frequency)
+                               : 1.0;
+  return inflation_ + freq_term * value_per_byte;
+}
+
+void GreedyDualCache::on_hit(const trace::Request& request) {
+  auto& e = entries_[request.object];
+  ++e.frequency;
+  order_.erase(e.order_it);
+  e.priority = priority_for(request, e.frequency);
+  e.order_it = order_.emplace(e.priority, request.object);
+}
+
+void GreedyDualCache::on_miss(const trace::Request& request) {
+  if (request.size > capacity()) return;
+  while (free_bytes() < request.size) evict_one();
+  auto& e = entries_[request.object];
+  e.size = request.size;
+  e.frequency = 1;
+  e.priority = priority_for(request, 1);
+  e.order_it = order_.emplace(e.priority, request.object);
+  add_used(request.size);
+}
+
+void GreedyDualCache::evict_one() {
+  const auto victim = order_.begin();
+  const auto object = victim->second;
+  inflation_ = victim->first;  // age the cache to the evicted priority
+  sub_used(entries_[object].size);
+  entries_.erase(object);
+  order_.erase(victim);
+}
+
+}  // namespace lfo::cache

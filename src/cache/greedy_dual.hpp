@@ -1,0 +1,57 @@
+#ifndef LFO_CACHE_GREEDY_DUAL_HPP
+#define LFO_CACHE_GREEDY_DUAL_HPP
+
+#include <map>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace lfo::cache {
+
+/// The Greedy-Dual family [Cherkasova 1998]. Each cached object carries
+/// a priority H; the global inflation value L rises to the priority of
+/// every evicted object, implementing O(1) aging:
+///   GDS:  H = L + cost / size
+///   GDSF: H = L + frequency * cost / size
+///
+/// GDSF is the heuristic that beats RL-based caching in the paper's
+/// Fig 1; both are Fig 6-family baselines.
+enum class GreedyDualVariant { kGds, kGdsf };
+
+class GreedyDualCache : public CachePolicy {
+ public:
+  GreedyDualCache(std::uint64_t capacity, GreedyDualVariant variant);
+
+  std::string name() const override {
+    return variant_ == GreedyDualVariant::kGds ? "GDS" : "GDSF";
+  }
+  bool contains(trace::ObjectId object) const override;
+  void clear() override;
+
+  double inflation() const { return inflation_; }
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  struct Entry {
+    std::uint64_t size;
+    std::uint64_t frequency;
+    double priority;
+    std::multimap<double, trace::ObjectId>::iterator order_it;
+  };
+
+  double priority_for(const trace::Request& request,
+                      std::uint64_t frequency) const;
+  void evict_one();
+
+  GreedyDualVariant variant_;
+  double inflation_ = 0.0;  // the "L" value
+  std::unordered_map<trace::ObjectId, Entry> entries_;
+  std::multimap<double, trace::ObjectId> order_;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_GREEDY_DUAL_HPP

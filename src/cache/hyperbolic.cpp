@@ -1,0 +1,67 @@
+#include "cache/hyperbolic.hpp"
+
+#include <algorithm>
+
+namespace lfo::cache {
+
+HyperbolicCache::HyperbolicCache(std::uint64_t capacity,
+                                 std::uint32_t sample_size, bool size_aware,
+                                 std::uint64_t seed)
+    : CachePolicy(capacity),
+      sample_size_(std::max<std::uint32_t>(1, sample_size)),
+      size_aware_(size_aware),
+      rng_(seed) {}
+
+bool HyperbolicCache::contains(trace::ObjectId object) const {
+  return index_.count(object) != 0;
+}
+
+void HyperbolicCache::clear() {
+  slots_.clear();
+  index_.clear();
+  sub_used(used_bytes());
+}
+
+double HyperbolicCache::priority(const Entry& e) const {
+  const auto age = std::max<std::uint64_t>(1, clock() - e.insert_time);
+  double p = static_cast<double>(e.access_count) / static_cast<double>(age);
+  if (size_aware_) p /= static_cast<double>(e.size);
+  return p;
+}
+
+void HyperbolicCache::on_hit(const trace::Request& request) {
+  ++slots_[index_[request.object]].access_count;
+}
+
+void HyperbolicCache::on_miss(const trace::Request& request) {
+  if (request.size > capacity()) return;
+  while (free_bytes() < request.size) evict_one();
+  index_.emplace(request.object, slots_.size());
+  slots_.push_back({request.object, request.size, 1, clock()});
+  add_used(request.size);
+}
+
+void HyperbolicCache::evict_one() {
+  // Sample S cached objects uniformly; evict the minimum priority one.
+  std::size_t victim = rng_.uniform(slots_.size());
+  double victim_priority = priority(slots_[victim]);
+  // Sampling is with replacement (as in the paper's implementation), so
+  // small caches still get a full complement of draws.
+  for (std::uint32_t s = 1; s < sample_size_; ++s) {
+    const std::size_t cand = rng_.uniform(slots_.size());
+    const double p = priority(slots_[cand]);
+    if (p < victim_priority) {
+      victim = cand;
+      victim_priority = p;
+    }
+  }
+  sub_used(slots_[victim].size);
+  index_.erase(slots_[victim].object);
+  if (victim + 1 != slots_.size()) {
+    slots_[victim] = slots_.back();
+    index_[slots_[victim].object] = victim;
+  }
+  slots_.pop_back();
+}
+
+}  // namespace lfo::cache

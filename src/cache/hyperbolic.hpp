@@ -1,0 +1,51 @@
+#ifndef LFO_CACHE_HYPERBOLIC_HPP
+#define LFO_CACHE_HYPERBOLIC_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "util/rng.hpp"
+
+namespace lfo::cache {
+
+/// Hyperbolic caching [Blankstein, Sen & Freedman, USENIX ATC 2017].
+/// Each object's priority decays hyperbolically: p = n_i / (t - t_i) where
+/// n_i counts accesses since insertion at time t_i. There is no global
+/// ordering structure; eviction draws a uniform sample of S cached objects
+/// and evicts the lowest-priority one (the paper's lazy sampling design).
+/// With size awareness the priority is divided by the object size.
+class HyperbolicCache : public CachePolicy {
+ public:
+  HyperbolicCache(std::uint64_t capacity, std::uint32_t sample_size = 64,
+                  bool size_aware = true, std::uint64_t seed = 1);
+
+  std::string name() const override { return "Hyperbolic"; }
+  bool contains(trace::ObjectId object) const override;
+  void clear() override;
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  struct Entry {
+    trace::ObjectId object;
+    std::uint64_t size;
+    std::uint64_t access_count;
+    std::uint64_t insert_time;
+  };
+
+  double priority(const Entry& e) const;
+  void evict_one();
+
+  std::uint32_t sample_size_;
+  bool size_aware_;
+  util::Rng rng_;
+  std::vector<Entry> slots_;  // swap-with-back for O(1) sampling
+  std::unordered_map<trace::ObjectId, std::size_t> index_;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_HYPERBOLIC_HPP

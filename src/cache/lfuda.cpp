@@ -1,0 +1,52 @@
+#include "cache/lfuda.hpp"
+
+namespace lfo::cache {
+
+LfudaCache::LfudaCache(std::uint64_t capacity, bool aging)
+    : CachePolicy(capacity), aging_(aging) {}
+
+bool LfudaCache::contains(trace::ObjectId object) const {
+  return entries_.count(object) != 0;
+}
+
+void LfudaCache::clear() {
+  entries_.clear();
+  order_.clear();
+  age_ = 0.0;
+  sub_used(used_bytes());
+}
+
+void LfudaCache::bump(const trace::Request& request) {
+  auto& e = entries_[request.object];
+  e.size = request.size;
+  ++e.frequency;
+  e.priority = (aging_ ? age_ : 0.0) + static_cast<double>(e.frequency);
+}
+
+void LfudaCache::on_hit(const trace::Request& request) {
+  auto& e = entries_[request.object];
+  order_.erase(e.order_it);
+  bump(request);
+  e.order_it = order_.emplace(e.priority, request.object);
+}
+
+void LfudaCache::on_miss(const trace::Request& request) {
+  if (request.size > capacity()) return;
+  while (free_bytes() < request.size) evict_one();
+  auto& e = entries_[request.object];  // default-constructed
+  e.frequency = 0;
+  bump(request);
+  e.order_it = order_.emplace(e.priority, request.object);
+  add_used(request.size);
+}
+
+void LfudaCache::evict_one() {
+  const auto victim = order_.begin();
+  const auto object = victim->second;
+  if (aging_) age_ = victim->first;  // dynamic aging
+  sub_used(entries_[object].size);
+  entries_.erase(object);
+  order_.erase(victim);
+}
+
+}  // namespace lfo::cache

@@ -1,0 +1,49 @@
+#ifndef LFO_CACHE_LFUDA_HPP
+#define LFO_CACHE_LFUDA_HPP
+
+#include <map>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace lfo::cache {
+
+/// LFU with dynamic aging [Arlitt et al. 2000]: an object's priority is
+/// L + frequency, where the global age L is raised to the priority of each
+/// evicted object. Aging prevents formerly popular objects from pinning
+/// the cache forever — the failure mode of plain LFU. Fig 6 baseline.
+class LfudaCache : public CachePolicy {
+ public:
+  /// aging = false gives plain LFU (kept as an ablation baseline).
+  LfudaCache(std::uint64_t capacity, bool aging = true);
+
+  std::string name() const override { return aging_ ? "LFUDA" : "LFU"; }
+  bool contains(trace::ObjectId object) const override;
+  void clear() override;
+
+  double age() const { return age_; }
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  struct Entry {
+    std::uint64_t size;
+    std::uint64_t frequency;
+    double priority;
+    std::multimap<double, trace::ObjectId>::iterator order_it;
+  };
+
+  void bump(const trace::Request& request);
+  void evict_one();
+
+  bool aging_;
+  double age_ = 0.0;
+  std::unordered_map<trace::ObjectId, Entry> entries_;
+  std::multimap<double, trace::ObjectId> order_;  // priority ascending
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_LFUDA_HPP

@@ -1,0 +1,153 @@
+#include "cache/lhd.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace lfo::cache {
+
+LhdCache::LhdCache(std::uint64_t capacity, std::uint32_t sample_size,
+                   std::uint64_t seed)
+    : CachePolicy(capacity),
+      sample_size_(std::max<std::uint32_t>(1, sample_size)),
+      rng_(seed),
+      next_reconfigure_(kReconfigureInterval) {
+  classes_.resize(kSizeClasses * kHitClasses);
+  for (auto& c : classes_) {
+    c.hits.assign(kAgeBins, 0.0);
+    c.evictions.assign(kAgeBins, 0.0);
+    // Optimistic initial densities: younger = denser, so the cache starts
+    // out behaving like LRU until real statistics accumulate.
+    c.density.assign(kAgeBins, 0.0);
+    for (std::uint32_t a = 0; a < kAgeBins; ++a) {
+      c.density[a] = 1.0 / static_cast<double>(a + 1);
+    }
+  }
+}
+
+bool LhdCache::contains(trace::ObjectId object) const {
+  return index_.count(object) != 0;
+}
+
+void LhdCache::clear() {
+  slots_.clear();
+  index_.clear();
+  sub_used(used_bytes());
+}
+
+std::uint32_t LhdCache::size_class(std::uint64_t size) const {
+  // log4 buckets starting at 4 KiB: [0,4K), [4K,16K), ...
+  std::uint32_t c = 0;
+  std::uint64_t bound = 4096;
+  while (c + 1 < kSizeClasses && size >= bound) {
+    bound *= 4;
+    ++c;
+  }
+  return c;
+}
+
+std::uint32_t LhdCache::class_of(const Entry& e) const {
+  const std::uint32_t h = std::min<std::uint32_t>(e.hits, kHitClasses - 1);
+  return size_class(e.size) * kHitClasses + h;
+}
+
+std::uint32_t LhdCache::age_bin(const Entry& e) const {
+  const std::uint64_t age = (clock() - e.last_access) >> age_shift_;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(age, kAgeBins - 1));
+}
+
+double LhdCache::rank(const Entry& e) const {
+  const auto& c = classes_[class_of(e)];
+  return c.density[age_bin(e)] / static_cast<double>(e.size);
+}
+
+void LhdCache::record_hit(const Entry& e) {
+  const auto bin = age_bin(e);
+  classes_[class_of(e)].hits[bin] += 1.0;
+  total_events_ += 1.0;
+  if (bin == kAgeBins - 1) overflow_events_ += 1.0;
+}
+
+void LhdCache::record_eviction(const Entry& e) {
+  const auto bin = age_bin(e);
+  classes_[class_of(e)].evictions[bin] += 1.0;
+  total_events_ += 1.0;
+  if (bin == kAgeBins - 1) overflow_events_ += 1.0;
+}
+
+void LhdCache::maybe_reconfigure() {
+  if (clock() < next_reconfigure_) return;
+  next_reconfigure_ = clock() + kReconfigureInterval;
+  // Grow the age coarsening when too many events overflow the last bin.
+  if (total_events_ > 0 && overflow_events_ / total_events_ > 0.1) {
+    ++age_shift_;
+  }
+  overflow_events_ = 0.0;
+  total_events_ = 0.0;
+  recompute_densities();
+  // EWMA-decay the counters so the estimator tracks drifting workloads.
+  for (auto& c : classes_) {
+    for (auto& v : c.hits) v *= kEwmaDecay;
+    for (auto& v : c.evictions) v *= kEwmaDecay;
+  }
+}
+
+void LhdCache::recompute_densities() {
+  // Backward recurrences (NSDI'18 §3.2): for age a,
+  //   expectedHits(a)     = sum_{t>=a} hit[t]
+  //   expectedLifetime(a) = sum_{u>=a} sum_{t>=u} (hit[t]+evict[t])
+  // density(a) = expectedHits(a) / expectedLifetime(a).
+  for (auto& c : classes_) {
+    double hits_above = 0.0;
+    double events_above = 0.0;
+    double lifetime_above = 0.0;
+    for (std::uint32_t a = kAgeBins; a-- > 0;) {
+      hits_above += c.hits[a];
+      events_above += c.hits[a] + c.evictions[a];
+      lifetime_above += events_above;
+      c.density[a] = lifetime_above > 0.0 ? hits_above / lifetime_above
+                                          : 1.0 / static_cast<double>(a + 1);
+    }
+  }
+}
+
+void LhdCache::on_hit(const trace::Request& request) {
+  auto& e = slots_[index_[request.object]];
+  record_hit(e);
+  e.last_access = clock();
+  ++e.hits;
+  maybe_reconfigure();
+}
+
+void LhdCache::on_miss(const trace::Request& request) {
+  maybe_reconfigure();
+  if (request.size > capacity()) return;
+  while (free_bytes() < request.size) evict_one();
+  index_.emplace(request.object, slots_.size());
+  slots_.push_back({request.object, request.size, clock(), 0});
+  add_used(request.size);
+}
+
+void LhdCache::evict_one() {
+  std::size_t victim = rng_.uniform(slots_.size());
+  double victim_rank = rank(slots_[victim]);
+  for (std::uint32_t s = 1; s < sample_size_; ++s) {
+    const std::size_t cand = rng_.uniform(slots_.size());
+    const double r = rank(slots_[cand]);
+    if (r < victim_rank) {
+      victim = cand;
+      victim_rank = r;
+    }
+  }
+  record_eviction(slots_[victim]);
+  sub_used(slots_[victim].size);
+  index_.erase(slots_[victim].object);
+  if (victim + 1 != slots_.size()) {
+    slots_[victim] = slots_.back();
+    index_[slots_[victim].object] = victim;
+  }
+  slots_.pop_back();
+}
+
+}  // namespace lfo::cache

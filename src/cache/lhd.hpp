@@ -1,0 +1,78 @@
+#ifndef LFO_CACHE_LHD_HPP
+#define LFO_CACHE_LHD_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "util/rng.hpp"
+
+namespace lfo::cache {
+
+/// LHD — Least Hit Density [Beckmann, Chen & Cidon, NSDI 2018].
+///
+/// Every cached object is ranked by its *hit density*: the probability of
+/// a future hit divided by the expected cache space-time it will consume,
+/// normalized per byte. Densities are estimated online from per-class
+/// age-binned hit/eviction counters; classes combine an object-size bucket
+/// with how many hits the object has received (LHD's "app + hit count"
+/// classing, adapted to the anonymized-trace setting). Eviction samples
+/// `sample_size` random objects and evicts the lowest-density one, as in
+/// the paper's implementation.
+class LhdCache : public CachePolicy {
+ public:
+  LhdCache(std::uint64_t capacity, std::uint32_t sample_size = 64,
+           std::uint64_t seed = 1);
+
+  std::string name() const override { return "LHD"; }
+  bool contains(trace::ObjectId object) const override;
+  void clear() override;
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  static constexpr std::uint32_t kAgeBins = 128;
+  static constexpr std::uint32_t kSizeClasses = 8;
+  static constexpr std::uint32_t kHitClasses = 3;  // 0, 1, 2+ hits
+  static constexpr std::uint64_t kReconfigureInterval = 1 << 15;
+  static constexpr double kEwmaDecay = 0.9;
+
+  struct Entry {
+    trace::ObjectId object;
+    std::uint64_t size;
+    std::uint64_t last_access;
+    std::uint32_t hits;
+  };
+  struct ClassStats {
+    std::vector<double> hits;       // per age bin
+    std::vector<double> evictions;  // per age bin
+    std::vector<double> density;    // per age bin (recomputed)
+  };
+
+  std::uint32_t size_class(std::uint64_t size) const;
+  std::uint32_t class_of(const Entry& e) const;
+  std::uint32_t age_bin(const Entry& e) const;
+  double rank(const Entry& e) const;
+  void record_hit(const Entry& e);
+  void record_eviction(const Entry& e);
+  void maybe_reconfigure();
+  void recompute_densities();
+  void evict_one();
+
+  std::uint32_t sample_size_;
+  util::Rng rng_;
+  std::uint32_t age_shift_ = 4;  // age coarsening; adapted online
+  std::uint64_t next_reconfigure_;
+  std::vector<ClassStats> classes_;
+  std::vector<Entry> slots_;
+  std::unordered_map<trace::ObjectId, std::size_t> index_;
+  double overflow_events_ = 0.0;  // ages landing in the last bin
+  double total_events_ = 0.0;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_LHD_HPP

@@ -1,0 +1,50 @@
+#include "cache/lru.hpp"
+
+namespace lfo::cache {
+
+LruCache::LruCache(std::uint64_t capacity) : CachePolicy(capacity) {}
+
+bool LruCache::contains(trace::ObjectId object) const {
+  return map_.count(object) != 0;
+}
+
+void LruCache::clear() {
+  list_.clear();
+  map_.clear();
+  sub_used(used_bytes());
+}
+
+void LruCache::on_hit(const trace::Request& request) {
+  const auto it = map_.find(request.object);
+  list_.splice(list_.begin(), list_, it->second);  // promote to MRU
+}
+
+void LruCache::on_miss(const trace::Request& request) {
+  if (!make_room(request.size)) return;
+  insert_mru(request);
+}
+
+bool LruCache::make_room(std::uint64_t needed) {
+  if (needed > capacity()) return false;  // can never fit
+  while (free_bytes() < needed) evict_lru();
+  return true;
+}
+
+void LruCache::insert_mru(const trace::Request& request) {
+  list_.push_front({request.object, request.size});
+  map_.emplace(request.object, list_.begin());
+  add_used(request.size);
+}
+
+void LruCache::evict_lru() {
+  const auto& victim = list_.back();
+  sub_used(victim.size);
+  map_.erase(victim.object);
+  list_.pop_back();
+}
+
+void FifoCache::on_hit(const trace::Request&) {
+  // FIFO: no promotion.
+}
+
+}  // namespace lfo::cache

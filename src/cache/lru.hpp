@@ -1,0 +1,76 @@
+#ifndef LFO_CACHE_LRU_HPP
+#define LFO_CACHE_LRU_HPP
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace lfo::cache {
+
+/// Classic least-recently-used cache. Admits every object that fits;
+/// objects larger than the cache are bypassed.
+class LruCache : public CachePolicy {
+ public:
+  explicit LruCache(std::uint64_t capacity);
+
+  std::string name() const override { return "LRU"; }
+  bool contains(trace::ObjectId object) const override;
+  void clear() override;
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+  struct Entry {
+    trace::ObjectId object;
+    std::uint64_t size;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Evict LRU entries until `needed` bytes fit. Returns false if even a
+  /// fully empty cache cannot hold them.
+  bool make_room(std::uint64_t needed);
+  void insert_mru(const trace::Request& request);
+  void evict_lru();
+
+  LruList list_;  // front = MRU, back = LRU
+  std::unordered_map<trace::ObjectId, LruList::iterator> map_;
+};
+
+/// First-in-first-out variant: no promotion on hit. A baseline and a
+/// regression oracle (LRU must beat FIFO on recency-friendly traces).
+class FifoCache : public LruCache {
+ public:
+  explicit FifoCache(std::uint64_t capacity) : LruCache(capacity) {}
+  std::string name() const override { return "FIFO"; }
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+};
+
+/// Infinite capacity reference: every object is admitted and never evicted
+/// (capacity is only used for the free-bytes report). Gives the compulsory
+/// miss rate, the upper bound on any real policy.
+class InfiniteCache : public CachePolicy {
+ public:
+  explicit InfiniteCache(std::uint64_t capacity) : CachePolicy(capacity) {}
+  std::string name() const override { return "Infinite"; }
+  bool contains(trace::ObjectId object) const override {
+    return objects_.count(object) != 0;
+  }
+  void clear() override { objects_.clear(); }
+
+ protected:
+  void on_hit(const trace::Request&) override {}
+  void on_miss(const trace::Request& request) override {
+    objects_.emplace(request.object, request.size);
+  }
+
+ private:
+  std::unordered_map<trace::ObjectId, std::uint64_t> objects_;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_LRU_HPP

@@ -1,0 +1,64 @@
+#include "cache/lru_k.hpp"
+
+#include <stdexcept>
+
+namespace lfo::cache {
+
+LruKCache::LruKCache(std::uint64_t capacity, std::uint32_t k)
+    : CachePolicy(capacity), k_(k) {
+  if (k == 0) throw std::invalid_argument("LruKCache: k must be >= 1");
+}
+
+std::string LruKCache::name() const {
+  return "LRU-" + std::to_string(k_);
+}
+
+bool LruKCache::contains(trace::ObjectId object) const {
+  return entries_.count(object) != 0;
+}
+
+void LruKCache::clear() {
+  entries_.clear();
+  order_.clear();
+  sub_used(used_bytes());
+}
+
+LruKCache::EvictKey LruKCache::key_for(const Entry& e) const {
+  const bool full = e.history.size() >= k_;
+  // kth most recent = front of the (bounded) deque; for partial histories
+  // the oldest known time still orders entries among themselves.
+  return {full, e.history.front()};
+}
+
+void LruKCache::touch(trace::ObjectId object, std::uint64_t size) {
+  auto& e = entries_[object];
+  e.size = size;
+  e.history.push_back(clock());
+  if (e.history.size() > k_) e.history.pop_front();
+}
+
+void LruKCache::on_hit(const trace::Request& request) {
+  auto& e = entries_[request.object];
+  order_.erase(e.order_it);
+  touch(request.object, request.size);
+  e.order_it = order_.emplace(key_for(e), request.object);
+}
+
+void LruKCache::on_miss(const trace::Request& request) {
+  if (request.size > capacity()) return;
+  while (free_bytes() < request.size) evict_one();
+  touch(request.object, request.size);
+  auto& e = entries_[request.object];
+  e.order_it = order_.emplace(key_for(e), request.object);
+  add_used(request.size);
+}
+
+void LruKCache::evict_one() {
+  const auto victim = order_.begin();
+  const auto object = victim->second;
+  sub_used(entries_[object].size);
+  entries_.erase(object);
+  order_.erase(victim);
+}
+
+}  // namespace lfo::cache

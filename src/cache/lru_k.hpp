@@ -1,0 +1,59 @@
+#ifndef LFO_CACHE_LRU_K_HPP
+#define LFO_CACHE_LRU_K_HPP
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace lfo::cache {
+
+/// LRU-K [O'Neil et al., SIGMOD 1993]: evict the object whose K-th most
+/// recent reference is oldest. Objects with fewer than K references use
+/// their oldest known reference but are considered before any object with
+/// a full history (classic "infinite backward distance" rule).
+///
+/// The paper contrasts LFO's shift-invariant gap features with LRU-K's
+/// absolute reference times (§2.2); this is the Fig 6 baseline.
+class LruKCache : public CachePolicy {
+ public:
+  LruKCache(std::uint64_t capacity, std::uint32_t k = 2);
+
+  std::string name() const override;
+  bool contains(trace::ObjectId object) const override;
+  void clear() override;
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  // Eviction key: (has_full_history, kth_recent_time); entries without K
+  // references sort before (evict first) any entry with K references.
+  struct EvictKey {
+    bool full;
+    std::uint64_t kth_time;
+    bool operator<(const EvictKey& o) const {
+      if (full != o.full) return !full;  // partial history evicts first
+      return kth_time < o.kth_time;
+    }
+  };
+  struct Entry {
+    std::uint64_t size;
+    std::deque<std::uint64_t> history;  // newest at back, <= k entries
+    std::multimap<EvictKey, trace::ObjectId>::iterator order_it;
+  };
+
+  EvictKey key_for(const Entry& e) const;
+  void touch(trace::ObjectId object, std::uint64_t size);
+  void evict_one();
+
+  std::uint32_t k_;
+  std::unordered_map<trace::ObjectId, Entry> entries_;
+  std::multimap<EvictKey, trace::ObjectId> order_;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_LRU_K_HPP

@@ -1,0 +1,44 @@
+#include "cache/policy.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace lfo::cache {
+
+CachePolicy::CachePolicy(std::uint64_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("CachePolicy: zero capacity");
+  }
+}
+
+bool CachePolicy::access(const trace::Request& request) {
+  ++clock_;
+  ++stats_.requests;
+  stats_.bytes_requested += request.size;
+  const bool hit = contains(request.object);
+  if (hit) {
+    ++stats_.hits;
+    stats_.bytes_hit += request.size;
+    on_hit(request);
+  } else {
+    on_miss(request);
+  }
+  assert(used_ <= capacity_ && "policy exceeded cache capacity");
+  return hit;
+}
+
+void CachePolicy::add_used(std::uint64_t bytes) {
+  used_ += bytes;
+  if (used_ > capacity_) {
+    throw std::logic_error(name() + ": capacity exceeded");
+  }
+}
+
+void CachePolicy::sub_used(std::uint64_t bytes) {
+  if (bytes > used_) {
+    throw std::logic_error(name() + ": negative used bytes");
+  }
+  used_ -= bytes;
+}
+
+}  // namespace lfo::cache

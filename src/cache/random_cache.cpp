@@ -1,0 +1,41 @@
+#include "cache/random_cache.hpp"
+
+namespace lfo::cache {
+
+RandomCache::RandomCache(std::uint64_t capacity, std::uint64_t seed)
+    : CachePolicy(capacity), rng_(seed) {}
+
+bool RandomCache::contains(trace::ObjectId object) const {
+  return index_.count(object) != 0;
+}
+
+void RandomCache::clear() {
+  slots_.clear();
+  index_.clear();
+  sub_used(used_bytes());
+}
+
+void RandomCache::on_hit(const trace::Request&) {
+  // Random replacement keeps no recency metadata.
+}
+
+void RandomCache::on_miss(const trace::Request& request) {
+  if (request.size > capacity()) return;
+  while (free_bytes() < request.size) evict_random();
+  index_.emplace(request.object, slots_.size());
+  slots_.push_back(request);
+  add_used(request.size);
+}
+
+void RandomCache::evict_random() {
+  const auto victim = rng_.uniform(slots_.size());
+  sub_used(slots_[victim].size);
+  index_.erase(slots_[victim].object);
+  if (victim + 1 != slots_.size()) {
+    slots_[victim] = slots_.back();
+    index_[slots_[victim].object] = victim;
+  }
+  slots_.pop_back();
+}
+
+}  // namespace lfo::cache

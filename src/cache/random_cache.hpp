@@ -1,0 +1,37 @@
+#ifndef LFO_CACHE_RANDOM_CACHE_HPP
+#define LFO_CACHE_RANDOM_CACHE_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "util/rng.hpp"
+
+namespace lfo::cache {
+
+/// Random replacement: admit everything that fits, evict uniformly random
+/// victims until there is room. The RND baseline of the paper's Fig 1.
+class RandomCache : public CachePolicy {
+ public:
+  RandomCache(std::uint64_t capacity, std::uint64_t seed = 1);
+
+  std::string name() const override { return "Random"; }
+  bool contains(trace::ObjectId object) const override;
+  void clear() override;
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  void evict_random();
+
+  util::Rng rng_;
+  // Swap-with-back vector enables O(1) uniform victim selection.
+  std::vector<trace::Request> slots_;
+  std::unordered_map<trace::ObjectId, std::size_t> index_;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_RANDOM_CACHE_HPP

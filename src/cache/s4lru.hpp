@@ -1,0 +1,55 @@
+#ifndef LFO_CACHE_S4LRU_HPP
+#define LFO_CACHE_S4LRU_HPP
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.hpp"
+
+namespace lfo::cache {
+
+/// Segmented LRU with S segments [Huang et al., SOSP 2013 — the Facebook
+/// photo-cache analysis]. The cache is divided into S equally sized LRU
+/// queues. Misses insert at the tail segment (0); a hit promotes the
+/// object one segment up. Overflowing segment s demotes its LRU entry to
+/// segment s-1; segment 0 evicts to disk (here: out of the cache).
+///
+/// The next-best policy to LFO in the paper's Fig 6 (S4LRU = S = 4).
+class SegmentedLruCache : public CachePolicy {
+ public:
+  SegmentedLruCache(std::uint64_t capacity, std::uint32_t segments = 4);
+
+  std::string name() const override;
+  bool contains(trace::ObjectId object) const override;
+  void clear() override;
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  struct Entry {
+    trace::ObjectId object;
+    std::uint64_t size;
+    std::uint32_t segment;
+  };
+  using List = std::list<Entry>;
+
+  /// Insert at the MRU end of `segment`, then rebalance overflow downwards.
+  void insert(std::uint32_t segment, trace::ObjectId object,
+              std::uint64_t size);
+  /// Demote overflowing entries down the hierarchy; segment 0 evicts.
+  /// Returns the number of bytes evicted from the cache entirely.
+  std::uint64_t rebalance(std::uint32_t segment);
+  std::uint64_t segment_capacity() const;
+
+  std::uint32_t num_segments_;
+  std::vector<List> lists_;                 // lists_[s]: front = MRU
+  std::vector<std::uint64_t> segment_used_;
+  std::unordered_map<trace::ObjectId, List::iterator> map_;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_S4LRU_HPP

@@ -1,0 +1,106 @@
+#include "cache/tiered.hpp"
+
+#include <stdexcept>
+
+namespace lfo::cache {
+
+TieredCache::TieredCache(std::uint64_t fast_capacity,
+                         std::uint64_t capacity_tier_bytes,
+                         PlacementFn placement)
+    : CachePolicy(fast_capacity + capacity_tier_bytes),
+      placement_(std::move(placement)) {
+  if (fast_capacity == 0 || capacity_tier_bytes == 0) {
+    throw std::invalid_argument("TieredCache: both tiers need capacity");
+  }
+  tier_capacity_[0] = fast_capacity;
+  tier_capacity_[1] = capacity_tier_bytes;
+}
+
+bool TieredCache::contains(trace::ObjectId object) const {
+  return map_.count(object) != 0;
+}
+
+void TieredCache::clear() {
+  lists_[0].clear();
+  lists_[1].clear();
+  tier_used_[0] = tier_used_[1] = 0;
+  map_.clear();
+  sub_used(used_bytes());
+}
+
+void TieredCache::set_placement(PlacementFn placement) {
+  placement_ = std::move(placement);
+}
+
+void TieredCache::on_hit(const trace::Request& request) {
+  const auto it = map_.find(request.object);
+  const int tier = it->second->tier;
+  if (tier == 0) {
+    ++fast_hits_;
+    lists_[0].splice(lists_[0].begin(), lists_[0], it->second);
+  } else {
+    ++capacity_hits_;
+    // Promote to the fast tier (if it can ever fit there).
+    const auto size = it->second->size;
+    if (size <= tier_capacity_[0]) {
+      erase(request.object);
+      insert(0, request.object, size);
+    } else {
+      lists_[1].splice(lists_[1].begin(), lists_[1], it->second);
+    }
+  }
+}
+
+void TieredCache::on_miss(const trace::Request& request) {
+  const Tier tier =
+      placement_ ? placement_(request) : Tier::kFast;
+  if (tier == Tier::kBypass) return;
+  const int t = static_cast<int>(tier);
+  if (request.size > tier_capacity_[t]) return;
+  insert(t, request.object, request.size);
+}
+
+void TieredCache::insert(int tier, trace::ObjectId object,
+                         std::uint64_t size) {
+  // Make room in this tier first; fast-tier overflow demotes downwards.
+  while (tier_used_[tier] + size > tier_capacity_[tier]) {
+    Entry victim = pop_lru(tier);
+    if (tier == 0 && victim.size <= tier_capacity_[1]) {
+      ++demotions_;
+      // Demotion may cascade evictions in the capacity tier.
+      while (tier_used_[1] + victim.size > tier_capacity_[1]) {
+        pop_lru(1);
+      }
+      victim.tier = 1;
+      lists_[1].push_front(victim);
+      map_[victim.object] = lists_[1].begin();
+      tier_used_[1] += victim.size;
+      add_used(victim.size);
+    }
+  }
+  lists_[tier].push_front({object, size, tier});
+  map_[object] = lists_[tier].begin();
+  tier_used_[tier] += size;
+  add_used(size);
+}
+
+TieredCache::Entry TieredCache::pop_lru(int tier) {
+  Entry victim = lists_[tier].back();
+  tier_used_[tier] -= victim.size;
+  map_.erase(victim.object);
+  lists_[tier].pop_back();
+  sub_used(victim.size);
+  return victim;
+}
+
+void TieredCache::erase(trace::ObjectId object) {
+  const auto it = map_.find(object);
+  if (it == map_.end()) return;
+  const int tier = it->second->tier;
+  tier_used_[tier] -= it->second->size;
+  sub_used(it->second->size);
+  lists_[tier].erase(it->second);
+  map_.erase(it);
+}
+
+}  // namespace lfo::cache

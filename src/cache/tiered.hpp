@@ -1,0 +1,83 @@
+#ifndef LFO_CACHE_TIERED_HPP
+#define LFO_CACHE_TIERED_HPP
+
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace lfo::cache {
+
+/// Two-tier cache hierarchy — the paper's §5 extension sketch: a CDN
+/// server's aggregate cache spans a fast tier (RAM) and a capacity tier
+/// (SSD/HDD). The first-level decision is *whether* to cache at all, the
+/// second-level decision is *where* to place the object.
+///
+/// Mechanics:
+///  - a hit in the fast tier refreshes its LRU position;
+///  - a hit in the capacity tier promotes the object to the fast tier;
+///  - the fast tier's LRU overflow demotes into the capacity tier
+///    (write-back), whose own LRU overflow leaves the cache;
+///  - on a miss, a pluggable placement function picks the tier (or
+///    bypasses), so a learned model — e.g. LFO's likelihood — can drive
+///    both levels of the hierarchy.
+class TieredCache : public CachePolicy {
+ public:
+  enum class Tier : int { kBypass = -1, kFast = 0, kCapacity = 1 };
+
+  /// Placement decision for a missed request.
+  using PlacementFn = std::function<Tier(const trace::Request&)>;
+
+  /// Default placement: everything is admitted to the fast tier (pure
+  /// promotion hierarchy, like an L1/L2 inclusive-exclusive pair).
+  TieredCache(std::uint64_t fast_capacity, std::uint64_t capacity_tier_bytes,
+              PlacementFn placement = nullptr);
+
+  std::string name() const override { return "Tiered"; }
+  bool contains(trace::ObjectId object) const override;
+  void clear() override;
+
+  void set_placement(PlacementFn placement);
+
+  // Tier-level telemetry: a production deployment provisions the RAM
+  // tier from these.
+  std::uint64_t fast_hits() const { return fast_hits_; }
+  std::uint64_t capacity_hits() const { return capacity_hits_; }
+  std::uint64_t fast_used() const { return used_of(0); }
+  std::uint64_t capacity_used() const { return used_of(1); }
+  std::uint64_t demotions() const { return demotions_; }
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  struct Entry {
+    trace::ObjectId object;
+    std::uint64_t size;
+    int tier;
+  };
+  using List = std::list<Entry>;
+
+  std::uint64_t used_of(int tier) const { return tier_used_[tier]; }
+  /// Insert at the MRU end of a tier, evicting/demoting as needed.
+  void insert(int tier, trace::ObjectId object, std::uint64_t size);
+  /// Pop the LRU entry of a tier; returns it.
+  Entry pop_lru(int tier);
+  void erase(trace::ObjectId object);
+
+  std::uint64_t tier_capacity_[2];
+  std::uint64_t tier_used_[2] = {0, 0};
+  List lists_[2];
+  std::unordered_map<trace::ObjectId, List::iterator> map_;
+  PlacementFn placement_;
+  std::uint64_t fast_hits_ = 0;
+  std::uint64_t capacity_hits_ = 0;
+  std::uint64_t demotions_ = 0;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_TIERED_HPP

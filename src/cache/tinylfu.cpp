@@ -1,0 +1,98 @@
+#include "cache/tinylfu.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace lfo::cache {
+
+namespace {
+std::uint64_t mix(std::uint64_t x, std::uint64_t salt) {
+  x ^= salt;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+FrequencySketch::FrequencySketch(std::size_t counters) {
+  const std::size_t size = std::bit_ceil(std::max<std::size_t>(64, counters));
+  mask_ = size - 1;
+  sample_size_ = size * 10;
+  table_.assign(kRows * size / 2, 0);  // two 4-bit counters per byte
+}
+
+std::size_t FrequencySketch::index(std::uint64_t key,
+                                   std::uint32_t row) const {
+  return mix(key, 0x9ae16a3b2f90404fULL * (row + 1)) & mask_;
+}
+
+std::uint32_t FrequencySketch::get(std::uint32_t row, std::size_t idx) const {
+  const std::size_t flat = row * (mask_ + 1) + idx;
+  const std::uint8_t byte = table_[flat / 2];
+  return (flat % 2 == 0) ? (byte & 0x0f) : (byte >> 4);
+}
+
+void FrequencySketch::set(std::uint32_t row, std::size_t idx,
+                          std::uint32_t value) {
+  const std::size_t flat = row * (mask_ + 1) + idx;
+  std::uint8_t& byte = table_[flat / 2];
+  if (flat % 2 == 0) {
+    byte = static_cast<std::uint8_t>((byte & 0xf0) | (value & 0x0f));
+  } else {
+    byte = static_cast<std::uint8_t>((byte & 0x0f) | ((value & 0x0f) << 4));
+  }
+}
+
+void FrequencySketch::increment(std::uint64_t key) {
+  for (std::uint32_t row = 0; row < kRows; ++row) {
+    const auto idx = index(key, row);
+    const auto v = get(row, idx);
+    if (v < kMaxCount) set(row, idx, v + 1);
+  }
+  if (++increments_ >= sample_size_) age();
+}
+
+std::uint32_t FrequencySketch::estimate(std::uint64_t key) const {
+  std::uint32_t est = kMaxCount;
+  for (std::uint32_t row = 0; row < kRows; ++row) {
+    est = std::min(est, get(row, index(key, row)));
+  }
+  return est;
+}
+
+void FrequencySketch::age() {
+  for (auto& byte : table_) {
+    // Halve both nibbles in place.
+    byte = static_cast<std::uint8_t>(((byte >> 1) & 0x77));
+  }
+  increments_ /= 2;
+}
+
+TinyLfuCache::TinyLfuCache(std::uint64_t capacity,
+                           std::size_t sketch_counters)
+    : LruCache(capacity), sketch_(sketch_counters) {}
+
+void TinyLfuCache::on_hit(const trace::Request& request) {
+  sketch_.increment(request.object);
+  LruCache::on_hit(request);
+}
+
+void TinyLfuCache::on_miss(const trace::Request& request) {
+  sketch_.increment(request.object);
+  if (request.size > capacity()) return;
+  // Admit only if the candidate is more popular than the victims it would
+  // displace (compare against the current LRU tail).
+  while (free_bytes() < request.size) {
+    const auto& victim = list_.back();
+    if (sketch_.estimate(request.object) <=
+        sketch_.estimate(victim.object)) {
+      return;  // candidate loses: bypass
+    }
+    evict_lru();
+  }
+  insert_mru(request);
+}
+
+}  // namespace lfo::cache

@@ -1,0 +1,60 @@
+#ifndef LFO_CACHE_TINYLFU_HPP
+#define LFO_CACHE_TINYLFU_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/lru.hpp"
+
+namespace lfo::cache {
+
+/// 4-bit count-min sketch with periodic halving (the "aging" reset of
+/// TinyLFU). Approximates request frequencies in O(1) space per counter.
+class FrequencySketch {
+ public:
+  /// `counters` is rounded up to a power of two.
+  explicit FrequencySketch(std::size_t counters);
+
+  void increment(std::uint64_t key);
+  std::uint32_t estimate(std::uint64_t key) const;
+  /// Halve all counters (called automatically every `sample_size`
+  /// increments).
+  void age();
+  std::uint64_t increments() const { return increments_; }
+
+ private:
+  static constexpr std::uint32_t kRows = 4;
+  static constexpr std::uint32_t kMaxCount = 15;  // 4-bit counters
+
+  std::uint32_t get(std::uint32_t row, std::size_t idx) const;
+  void set(std::uint32_t row, std::size_t idx, std::uint32_t value);
+  std::size_t index(std::uint64_t key, std::uint32_t row) const;
+
+  std::size_t mask_;
+  std::uint64_t sample_size_;
+  std::uint64_t increments_ = 0;
+  // Packed 4-bit counters: kRows tables of (mask_+1) counters.
+  std::vector<std::uint8_t> table_;
+};
+
+/// TinyLFU admission over an LRU cache [Einziger & Friedman 2014]: on a
+/// miss, the candidate is admitted only if its sketched frequency exceeds
+/// the would-be LRU victim's. Included as an extension baseline (the paper
+/// cites TinyLFU among the admission heuristics LFO subsumes).
+class TinyLfuCache : public LruCache {
+ public:
+  TinyLfuCache(std::uint64_t capacity, std::size_t sketch_counters = 1 << 18);
+
+  std::string name() const override { return "TinyLFU"; }
+
+ protected:
+  void on_hit(const trace::Request& request) override;
+  void on_miss(const trace::Request& request) override;
+
+ private:
+  FrequencySketch sketch_;
+};
+
+}  // namespace lfo::cache
+
+#endif  // LFO_CACHE_TINYLFU_HPP

@@ -1,0 +1,92 @@
+#include "core/lfo_cache.hpp"
+
+namespace lfo::core {
+
+LfoCache::LfoCache(std::uint64_t capacity,
+                   features::FeatureConfig feature_config, double cutoff,
+                   LfoPolicyOptions options)
+    : cache::CachePolicy(capacity),
+      extractor_(feature_config),
+      cutoff_(cutoff),
+      options_(options),
+      row_buffer_(feature_config.dimension(), 0.0f) {}
+
+bool LfoCache::contains(trace::ObjectId object) const {
+  return entries_.count(object) != 0;
+}
+
+void LfoCache::clear() {
+  entries_.clear();
+  order_.clear();
+  extractor_.reset();
+  sub_used(used_bytes());
+}
+
+void LfoCache::swap_model(std::shared_ptr<const LfoModel> model) {
+  model_ = std::move(model);
+}
+
+double LfoCache::predict(const trace::Request& request) {
+  if (!model_) return 0.5;  // bootstrap: behave like admit-all
+  extractor_.extract(request, clock(), free_bytes(), row_buffer_);
+  return model_->predict(row_buffer_);
+}
+
+double LfoCache::rank_of(const trace::Request& request,
+                         double likelihood) const {
+  switch (options_.eviction) {
+    case LfoPolicyOptions::EvictionRank::kLikelihood:
+      return likelihood;
+    case LfoPolicyOptions::EvictionRank::kLikelihoodPerByte:
+      return likelihood / static_cast<double>(request.size);
+    case LfoPolicyOptions::EvictionRank::kLru:
+      return static_cast<double>(clock());  // larger = more recent
+  }
+  return likelihood;
+}
+
+void LfoCache::update_rank(trace::ObjectId object, double rank) {
+  auto& e = entries_[object];
+  order_.erase(e.order_it);
+  e.likelihood = rank;
+  e.order_it = order_.emplace(rank, object);
+}
+
+void LfoCache::on_hit(const trace::Request& request) {
+  const bool lru_mode =
+      options_.eviction == LfoPolicyOptions::EvictionRank::kLru;
+  if (options_.rescore_on_hit || lru_mode) {
+    const double p = lru_mode ? 0.0 : predict(request);
+    if (!lru_mode && p < cutoff_) ++demoted_hits_;
+    // Re-rank; the hit object may now be the eviction candidate (paper:
+    // a hit can lead to the eviction of the hit object).
+    update_rank(request.object, rank_of(request, p));
+  }
+  extractor_.observe(request, clock());
+}
+
+void LfoCache::on_miss(const trace::Request& request) {
+  const double p = predict(request);
+  extractor_.observe(request, clock());
+  if (request.size > capacity()) return;
+  if (p < cutoff_) {
+    ++bypassed_;
+    return;
+  }
+  while (free_bytes() < request.size) evict_one();
+  const double rank = rank_of(request, p);
+  auto [it, inserted] = entries_.emplace(
+      request.object, Entry{request.size, rank, order_.end()});
+  it->second.order_it = order_.emplace(rank, request.object);
+  add_used(request.size);
+}
+
+void LfoCache::evict_one() {
+  const auto victim = order_.begin();
+  const auto object = victim->second;
+  sub_used(entries_[object].size);
+  entries_.erase(object);
+  order_.erase(victim);
+}
+
+}  // namespace lfo::core

@@ -1,0 +1,125 @@
+#include "core/lfo_model.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+
+namespace lfo::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+LfoModel::LfoModel(gbdt::Model model, features::FeatureConfig config)
+    : model_(std::move(model)), config_(config) {}
+
+double LfoModel::predict(std::span<const float> feature_row) const {
+  return model_.predict_proba(feature_row);
+}
+
+std::vector<LfoModel::FeatureImportance> LfoModel::feature_importance()
+    const {
+  const auto names = config_.names();
+  const auto counts = model_.split_counts(names.size());
+  const auto shares = model_.split_shares(names.size());
+  std::vector<FeatureImportance> out;
+  out.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out.push_back({names[i], counts[i], shares[i]});
+  }
+  return out;
+}
+
+void LfoModel::save(std::ostream& os) const {
+  os.precision(17);
+  os << "lfo-model v1\n";
+  os << config_.num_gaps << ' ' << config_.include_size << ' '
+     << config_.include_cost << ' ' << config_.include_free_bytes << ' '
+     << config_.thin_gaps << ' ' << config_.missing_gap_value << '\n';
+  model_.save(os);
+}
+
+void LfoModel::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("LfoModel::save_file: cannot open " + path);
+  }
+  save(os);
+}
+
+LfoModel LfoModel::load(std::istream& is) {
+  std::string tag, version;
+  is >> tag >> version;
+  if (!is || tag != "lfo-model" || version != "v1") {
+    throw std::runtime_error("LfoModel::load: bad header");
+  }
+  features::FeatureConfig config;
+  is >> config.num_gaps >> config.include_size >> config.include_cost >>
+      config.include_free_bytes >> config.thin_gaps >>
+      config.missing_gap_value;
+  if (!is) throw std::runtime_error("LfoModel::load: bad feature config");
+  auto model = gbdt::Model::load(is);
+  return LfoModel(std::move(model), config);
+}
+
+LfoModel LfoModel::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("LfoModel::load_file: cannot open " + path);
+  }
+  return load(is);
+}
+
+TrainResult train_on_window(std::span<const trace::Request> window,
+                            const LfoConfig& config) {
+  if (window.empty()) {
+    throw std::invalid_argument("train_on_window: empty window");
+  }
+  TrainResult result;
+
+  auto t0 = Clock::now();
+  opt::OptConfig opt_config = config.opt;
+  opt_config.cache_size = config.cache_size;
+  result.opt = opt::compute_opt(window, opt_config);
+  result.opt_seconds = seconds_since(t0);
+
+  features::DatasetBuildOptions build;
+  build.features = config.features;
+  build.cache_size = config.cache_size;
+  const auto dataset = features::build_dataset(window, result.opt, build);
+  result.num_samples = dataset.num_rows();
+
+  t0 = Clock::now();
+  auto booster = gbdt::train(dataset, config.gbdt);
+  result.train_seconds = seconds_since(t0);
+  result.train_accuracy = gbdt::accuracy(booster, dataset, config.cutoff);
+  result.model = std::make_shared<const LfoModel>(std::move(booster),
+                                                  config.features);
+  return result;
+}
+
+util::BinaryConfusion evaluate_predictions(
+    const LfoModel& model, std::span<const trace::Request> window,
+    const opt::OptDecisions& opt, std::uint64_t cache_size, double cutoff) {
+  if (opt.cached.size() != window.size()) {
+    throw std::invalid_argument(
+        "evaluate_predictions: decisions/window mismatch");
+  }
+  features::DatasetBuildOptions build;
+  build.features = model.feature_config();
+  build.cache_size = cache_size;
+  const auto dataset = features::build_dataset(window, opt, build);
+
+  util::BinaryConfusion confusion;
+  for (std::size_t i = 0; i < dataset.num_rows(); ++i) {
+    const bool predicted = model.predict(dataset.row(i)) >= cutoff;
+    const bool actual = dataset.label(i) > 0.5f;
+    confusion.add(predicted, actual);
+  }
+  return confusion;
+}
+
+}  // namespace lfo::core

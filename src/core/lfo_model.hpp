@@ -1,0 +1,98 @@
+#ifndef LFO_CORE_LFO_MODEL_HPP
+#define LFO_CORE_LFO_MODEL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "features/dataset_builder.hpp"
+#include "features/features.hpp"
+#include "gbdt/gbdt.hpp"
+#include "opt/opt.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace lfo::core {
+
+/// End-to-end LFO configuration: how OPT labels are derived, which online
+/// features are used, how the booster is trained, and the admission cutoff.
+struct LfoConfig {
+  std::uint64_t cache_size = 1ULL << 30;
+  opt::OptConfig opt;                 ///< OPT label computation
+  features::FeatureConfig features;   ///< online feature vector (§2.2)
+  gbdt::Params gbdt = gbdt::Params::paper_defaults();  ///< §2.3
+  double cutoff = 0.5;                ///< admission threshold (§2.4)
+
+  LfoConfig() {
+    opt.cache_size = cache_size;
+    opt.mode = opt::OptMode::kGreedyPacking;
+  }
+  /// Keep opt.cache_size in sync when changing cache_size.
+  void set_cache_size(std::uint64_t bytes) {
+    cache_size = bytes;
+    opt.cache_size = bytes;
+  }
+};
+
+/// A trained LFO predictor: the boosted-tree model plus the feature schema
+/// it was trained with. Thread-safe for concurrent prediction (immutable
+/// after construction).
+class LfoModel {
+ public:
+  LfoModel(gbdt::Model model, features::FeatureConfig config);
+
+  /// Probability that OPT would cache this feature vector.
+  double predict(std::span<const float> feature_row) const;
+
+  const gbdt::Model& booster() const { return model_; }
+  const features::FeatureConfig& feature_config() const { return config_; }
+  std::size_t dimension() const { return config_.dimension(); }
+
+  /// Fig 8: fraction of tree splits per feature, labelled.
+  struct FeatureImportance {
+    std::string name;
+    std::uint64_t splits;
+    double share;
+  };
+  std::vector<FeatureImportance> feature_importance() const;
+
+  /// Persistence: the booster plus the feature schema it expects, so a
+  /// loaded model can never be fed a mismatched feature vector.
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  static LfoModel load(std::istream& is);
+  static LfoModel load_file(const std::string& path);
+
+ private:
+  gbdt::Model model_;
+  features::FeatureConfig config_;
+};
+
+/// Diagnostics of one training run.
+struct TrainResult {
+  std::shared_ptr<const LfoModel> model;
+  opt::OptDecisions opt;           ///< the labels used
+  double train_accuracy = 0.0;     ///< agreement with OPT on the window
+  double opt_seconds = 0.0;
+  double train_seconds = 0.0;
+  std::size_t num_samples = 0;
+};
+
+/// Train an LFO model on one window of requests (paper Fig 2, left side):
+/// compute OPT, derive features, fit the booster.
+TrainResult train_on_window(std::span<const trace::Request> window,
+                            const LfoConfig& config);
+
+/// Replay `window` through the feature extractor and compare the model's
+/// cutoff decisions against OPT's. This is the paper's "prediction error"
+/// (Figs 5a-5c): the free-bytes feature is derived from OPT's occupancy,
+/// mirroring dataset construction.
+util::BinaryConfusion evaluate_predictions(
+    const LfoModel& model, std::span<const trace::Request> window,
+    const opt::OptDecisions& opt, std::uint64_t cache_size, double cutoff);
+
+}  // namespace lfo::core
+
+#endif  // LFO_CORE_LFO_MODEL_HPP

@@ -1,0 +1,81 @@
+#include "core/tuning.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "features/dataset_builder.hpp"
+
+namespace lfo::core {
+
+CutoffTuning tune_cutoff(const LfoModel& model,
+                         std::span<const trace::Request> window,
+                         const opt::OptDecisions& opt,
+                         std::uint64_t cache_size) {
+  if (opt.cached.size() != window.size()) {
+    throw std::invalid_argument("tune_cutoff: decisions/window mismatch");
+  }
+  features::DatasetBuildOptions build;
+  build.features = model.feature_config();
+  build.cache_size = cache_size;
+  const auto dataset = features::build_dataset(window, opt, build);
+  const auto n = dataset.num_rows();
+  if (n == 0) throw std::invalid_argument("tune_cutoff: empty window");
+
+  // Sort (probability, label) pairs; sweeping the cutoff downward then
+  // turns each sample from "not admitted" to "admitted" exactly once.
+  std::vector<std::pair<double, bool>> scored(n);
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool label = dataset.label(i) > 0.5f;
+    scored[i] = {model.predict(dataset.row(i)), label};
+    positives += label ? 1 : 0;
+  }
+  std::sort(scored.begin(), scored.end());
+
+  // Cutoff above every score: nothing admitted -> FN = positives, FP = 0.
+  // Walking the sorted array from the top, admitting one sample at a time:
+  // a positive sample admitted removes one FN; a negative adds one FP.
+  const auto total = static_cast<double>(n);
+  std::size_t fn = positives;
+  std::size_t fp = 0;
+
+  CutoffTuning out;
+  double best_err = static_cast<double>(fn + fp) / total;
+  out.min_error = best_err;
+  out.min_error_cutoff = 1.0;
+  double best_gap = static_cast<double>(fn + fp) / total;  // |fp-fn| proxy
+  best_gap = std::abs(static_cast<double>(fp) - static_cast<double>(fn));
+  out.equal_error_cutoff = 1.0;
+  out.equalized_share = static_cast<double>(std::max(fp, fn)) / total;
+
+  for (std::size_t k = scored.size(); k-- > 0;) {
+    // Admit sample k (and everything above it): cutoff just below its
+    // probability.
+    if (scored[k].second) {
+      --fn;
+    } else {
+      ++fp;
+    }
+    // Skip ties: only evaluate at distinct probability boundaries.
+    if (k > 0 && scored[k - 1].first == scored[k].first) continue;
+    const double cutoff =
+        k > 0 ? 0.5 * (scored[k - 1].first + scored[k].first)
+              : scored[0].first - 1e-9;
+    const double err = static_cast<double>(fn + fp) / total;
+    if (err < best_err) {
+      best_err = err;
+      out.min_error = err;
+      out.min_error_cutoff = cutoff;
+    }
+    const double gap =
+        std::abs(static_cast<double>(fp) - static_cast<double>(fn));
+    if (gap < best_gap) {
+      best_gap = gap;
+      out.equal_error_cutoff = cutoff;
+      out.equalized_share = static_cast<double>(std::max(fp, fn)) / total;
+    }
+  }
+  return out;
+}
+
+}  // namespace lfo::core

@@ -1,0 +1,35 @@
+#ifndef LFO_CORE_TUNING_HPP
+#define LFO_CORE_TUNING_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/lfo_model.hpp"
+
+namespace lfo::core {
+
+/// Result of a cutoff sweep over a validation window.
+struct CutoffTuning {
+  /// Cutoff at which the false-positive and false-negative shares cross
+  /// (the paper's §3 observation: raising the cutoff to ~.65 equalizes
+  /// them on their trace).
+  double equal_error_cutoff = 0.5;
+  /// Cutoff minimizing total prediction error.
+  double min_error_cutoff = 0.5;
+  double min_error = 0.0;
+  /// FP/FN shares at the equal-error cutoff.
+  double equalized_share = 0.0;
+};
+
+/// Sweep admission cutoffs against OPT's labels for a window and report
+/// the equal-error and minimum-error operating points. Probabilities are
+/// evaluated once; the sweep itself is O(n log n).
+CutoffTuning tune_cutoff(const LfoModel& model,
+                         std::span<const trace::Request> window,
+                         const opt::OptDecisions& opt,
+                         std::uint64_t cache_size);
+
+}  // namespace lfo::core
+
+#endif  // LFO_CORE_TUNING_HPP

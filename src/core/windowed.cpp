@@ -1,0 +1,73 @@
+#include "core/windowed.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hpp"
+
+namespace lfo::core {
+
+WindowedResult run_windowed_lfo(const trace::Trace& trace,
+                                const WindowedConfig& config) {
+  WindowedResult result;
+  LfoCache cache(config.lfo.cache_size, config.lfo.features,
+                 config.lfo.cutoff);
+  // Models waiting out their activation lag (front = oldest).
+  std::deque<std::shared_ptr<const LfoModel>> pending;
+
+  std::size_t window_index = 0;
+  for (std::size_t begin = 0; begin < trace.size();
+       begin += config.window_size) {
+    const auto window = trace.window(begin, config.window_size);
+    WindowReport report;
+    report.index = window_index++;
+    report.begin = begin;
+    report.length = window.size();
+
+    // Serve the window with the model trained on the previous one.
+    const auto before = cache.stats();
+    for (const auto& r : window) cache.access(r);
+    const auto after = cache.stats();
+    const auto bytes = after.bytes_requested - before.bytes_requested;
+    const auto reqs = after.requests - before.requests;
+    report.bhr = bytes ? static_cast<double>(after.bytes_hit -
+                                             before.bytes_hit) /
+                             static_cast<double>(bytes)
+                       : 0.0;
+    report.ohr = reqs ? static_cast<double>(after.hits - before.hits) /
+                            static_cast<double>(reqs)
+                      : 0.0;
+
+    // Train on the window just recorded (unless retraining is disabled
+    // and a model already serves).
+    if (config.retrain || !cache.has_model()) {
+      const auto trained = train_on_window(window, config.lfo);
+      report.train_accuracy = trained.train_accuracy;
+      report.opt_seconds = trained.opt_seconds;
+      report.train_seconds = trained.train_seconds;
+      report.opt_bhr = trained.opt.bhr;
+      report.opt_ohr = trained.opt.ohr;
+      if (cache.has_model()) {
+        // Out-of-sample error of the model that just served this window,
+        // measured against the freshly computed OPT labels.
+        const auto confusion = evaluate_predictions(
+            *cache.model(), window, trained.opt, config.lfo.cache_size,
+            config.lfo.cutoff);
+        report.prediction_error = 1.0 - confusion.accuracy();
+      }
+      pending.push_back(trained.model);
+      if (pending.size() > config.swap_lag) {
+        cache.swap_model(pending.front());
+        pending.pop_front();
+      }
+    }
+    result.windows.push_back(report);
+  }
+
+  result.overall = cache.stats();
+  result.bypassed = cache.bypassed();
+  result.demoted_hits = cache.demoted_hits();
+  return result;
+}
+
+}  // namespace lfo::core

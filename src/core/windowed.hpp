@@ -1,0 +1,68 @@
+#ifndef LFO_CORE_WINDOWED_HPP
+#define LFO_CORE_WINDOWED_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "core/lfo_cache.hpp"
+#include "core/lfo_model.hpp"
+#include "trace/trace.hpp"
+
+namespace lfo::core {
+
+/// Configuration of the sliding-window pipeline (paper Fig 2).
+struct WindowedConfig {
+  LfoConfig lfo;
+  std::size_t window_size = 50000;
+  /// Retrain after every window (the paper's design). When false, the
+  /// first trained model is kept for the rest of the trace (ablation:
+  /// quantifies the value of continuous retraining under drift).
+  bool retrain = true;
+  /// Deferred activation: the model trained on window t starts serving at
+  /// window t+1+swap_lag. A lag of 1 models asynchronous training that
+  /// runs while the next window is already being served — the paper's §3
+  /// note that "training tasks [must] not interfere with the request
+  /// traffic". 0 = the idealized synchronous swap of Fig 2.
+  std::uint32_t swap_lag = 0;
+};
+
+/// Per-window diagnostics.
+struct WindowReport {
+  std::size_t index = 0;
+  std::size_t begin = 0;
+  std::size_t length = 0;
+  // Cache performance of LFO over this window (the model trained on the
+  // previous window is serving, exactly as in Fig 2).
+  double bhr = 0.0;
+  double ohr = 0.0;
+  // Agreement of the *serving* model with this window's OPT, i.e. the
+  // paper's prediction error measured out-of-sample. Negative when no
+  // model was serving (first window).
+  double prediction_error = -1.0;
+  // Training diagnostics of the model trained on this window.
+  double train_accuracy = 0.0;
+  double opt_seconds = 0.0;
+  double train_seconds = 0.0;
+  // OPT's offline hit ratios on this window (for the optimality gap).
+  double opt_bhr = 0.0;
+  double opt_ohr = 0.0;
+};
+
+/// Result of replaying a trace through the windowed pipeline.
+struct WindowedResult {
+  std::vector<WindowReport> windows;
+  cache::CacheStats overall;
+  std::uint64_t bypassed = 0;
+  std::uint64_t demoted_hits = 0;
+};
+
+/// Drive a trace through LFO's record -> derive OPT -> train -> serve
+/// loop. The cache state and feature history persist across windows; only
+/// the model is swapped at window boundaries.
+WindowedResult run_windowed_lfo(const trace::Trace& trace,
+                                const WindowedConfig& config);
+
+}  // namespace lfo::core
+
+#endif  // LFO_CORE_WINDOWED_HPP

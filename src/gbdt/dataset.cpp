@@ -1,0 +1,91 @@
+#include "gbdt/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lfo::gbdt {
+
+Dataset::Dataset(std::size_t num_features) : num_features_(num_features) {
+  if (num_features == 0) {
+    throw std::invalid_argument("Dataset: need at least one feature");
+  }
+}
+
+void Dataset::add_row(std::span<const float> features, float label) {
+  if (features.size() != num_features_) {
+    throw std::invalid_argument("Dataset::add_row: feature count mismatch");
+  }
+  features_.insert(features_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+void Dataset::reserve(std::size_t rows) {
+  features_.reserve(rows * num_features_);
+  labels_.reserve(rows);
+}
+
+std::uint32_t FeatureBins::bin_for(float value) const {
+  // upper_bounds is sorted; bin = index of first bound >= value.
+  const auto it =
+      std::lower_bound(upper_bounds.begin(), upper_bounds.end(), value);
+  return static_cast<std::uint32_t>(it - upper_bounds.begin());
+}
+
+namespace {
+
+/// Quantile bin boundaries for one feature column. Distinct values fewer
+/// than max_bins get one bin each (exact splits); otherwise boundaries sit
+/// at evenly spaced quantiles of the value distribution.
+FeatureBins build_bins(std::vector<float> values, std::uint32_t max_bins) {
+  FeatureBins fb;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  if (values.size() <= 1) return fb;  // constant feature: single bin
+  if (values.size() <= max_bins) {
+    // One bin per distinct value; boundary = midpoint between neighbours.
+    fb.upper_bounds.reserve(values.size() - 1);
+    for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+      fb.upper_bounds.push_back(values[i] +
+                                (values[i + 1] - values[i]) * 0.5f);
+    }
+    return fb;
+  }
+  fb.upper_bounds.reserve(max_bins - 1);
+  for (std::uint32_t b = 1; b < max_bins; ++b) {
+    const auto idx = static_cast<std::size_t>(
+        static_cast<double>(b) * static_cast<double>(values.size()) /
+        static_cast<double>(max_bins));
+    const auto clamped = std::min(idx, values.size() - 1);
+    const float bound = values[clamped];
+    if (fb.upper_bounds.empty() || bound > fb.upper_bounds.back()) {
+      fb.upper_bounds.push_back(bound);
+    }
+  }
+  return fb;
+}
+
+}  // namespace
+
+BinnedDataset::BinnedDataset(const Dataset& data, std::uint32_t max_bins)
+    : num_rows_(data.num_rows()) {
+  if (max_bins < 2 || max_bins > 256) {
+    throw std::invalid_argument("BinnedDataset: max_bins must be in [2,256]");
+  }
+  const std::size_t cols = data.num_features();
+  bins_.reserve(cols);
+  binned_.resize(cols * num_rows_);
+  std::vector<float> column_values(num_rows_);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      column_values[r] = data.feature(r, c);
+    }
+    bins_.push_back(build_bins(column_values, max_bins));
+    const auto& fb = bins_.back();
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      binned_[c * num_rows_ + r] =
+          static_cast<std::uint8_t>(fb.bin_for(data.feature(r, c)));
+    }
+  }
+}
+
+}  // namespace lfo::gbdt

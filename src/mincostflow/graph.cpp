@@ -1,0 +1,90 @@
+#include "mincostflow/graph.hpp"
+
+#include <stdexcept>
+
+namespace lfo::mcmf {
+
+Graph::Graph(NodeId num_nodes)
+    : adjacency_(static_cast<std::size_t>(num_nodes)) {}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size()) - 1;
+}
+
+void Graph::reserve(NodeId nodes, EdgeId edges) {
+  adjacency_.reserve(static_cast<std::size_t>(nodes));
+  arcs_.reserve(static_cast<std::size_t>(edges) * 2);
+  arc_tail_.reserve(static_cast<std::size_t>(edges) * 2);
+}
+
+EdgeId Graph::add_edge(NodeId from, NodeId to, Flow capacity, Cost cost) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    throw std::out_of_range("Graph::add_edge: node out of range");
+  }
+  if (capacity < 0) {
+    throw std::invalid_argument("Graph::add_edge: negative capacity");
+  }
+  const EdgeId e = num_edges();
+  arcs_.push_back({to, capacity, cost});
+  arc_tail_.push_back(from);
+  adjacency_[static_cast<std::size_t>(from)].push_back(arcs_.size() - 1);
+  arcs_.push_back({from, 0, -cost});
+  arc_tail_.push_back(to);
+  adjacency_[static_cast<std::size_t>(to)].push_back(arcs_.size() - 1);
+  return e;
+}
+
+Flow Graph::flow(EdgeId e) const {
+  // Flow on the forward edge equals the residual of the reverse arc.
+  return arcs_[static_cast<std::size_t>(e) * 2 + 1].residual;
+}
+
+Flow Graph::capacity(EdgeId e) const {
+  const auto& fwd = arcs_[static_cast<std::size_t>(e) * 2];
+  const auto& rev = arcs_[static_cast<std::size_t>(e) * 2 + 1];
+  return fwd.residual + rev.residual;
+}
+
+Cost Graph::cost(EdgeId e) const {
+  return arcs_[static_cast<std::size_t>(e) * 2].cost;
+}
+
+NodeId Graph::edge_from(EdgeId e) const {
+  return arc_tail_[static_cast<std::size_t>(e) * 2];
+}
+
+NodeId Graph::edge_to(EdgeId e) const {
+  return arcs_[static_cast<std::size_t>(e) * 2].to;
+}
+
+void Graph::clear_flow() {
+  for (std::size_t e = 0; e < arcs_.size(); e += 2) {
+    arcs_[e].residual += arcs_[e + 1].residual;
+    arcs_[e + 1].residual = 0;
+  }
+}
+
+void Graph::truncate(NodeId num_nodes, EdgeId num_edges) {
+  if (num_nodes > this->num_nodes() || num_edges > this->num_edges()) {
+    throw std::invalid_argument("Graph::truncate: cannot grow");
+  }
+  const auto keep_arcs = static_cast<std::size_t>(num_edges) * 2;
+  // Arc ids grow monotonically and each adjacency vector is append-only, so
+  // every to-be-removed arc sits at the back of its tail's list. Pop them
+  // in descending id order.
+  for (std::size_t a = arcs_.size(); a-- > keep_arcs;) {
+    auto& adj = adjacency_[static_cast<std::size_t>(arc_tail_[a])];
+    adj.pop_back();
+  }
+  arcs_.resize(keep_arcs);
+  arc_tail_.resize(keep_arcs);
+  adjacency_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void Graph::push(std::size_t a, Flow amount) {
+  arcs_[a].residual -= amount;
+  arcs_[a ^ 1].residual += amount;
+}
+
+}  // namespace lfo::mcmf

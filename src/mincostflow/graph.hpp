@@ -1,0 +1,74 @@
+#ifndef LFO_MINCOSTFLOW_GRAPH_HPP
+#define LFO_MINCOSTFLOW_GRAPH_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace lfo::mcmf {
+
+using NodeId = std::int64_t;
+using EdgeId = std::int64_t;
+using Flow = std::int64_t;
+using Cost = std::int64_t;
+
+/// Directed flow network stored as a residual graph: every add_edge()
+/// creates a forward arc and its residual reverse arc at index edge_id^1.
+///
+/// This is the substrate for the OPT computation (paper §2.1, Fig 4). It
+/// replaces the LEMON library the paper's prototype used.
+class Graph {
+ public:
+  explicit Graph(NodeId num_nodes = 0);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adjacency_.size()); }
+  /// Number of user-visible (forward) edges.
+  EdgeId num_edges() const { return static_cast<EdgeId>(arcs_.size() / 2); }
+
+  NodeId add_node();
+  void reserve(NodeId nodes, EdgeId edges);
+
+  /// Add a directed edge; returns its id. capacity >= 0 required.
+  EdgeId add_edge(NodeId from, NodeId to, Flow capacity, Cost cost);
+
+  /// Flow currently routed on a forward edge (set by a solver).
+  Flow flow(EdgeId e) const;
+  Flow capacity(EdgeId e) const;
+  Cost cost(EdgeId e) const;
+  NodeId edge_from(EdgeId e) const;
+  NodeId edge_to(EdgeId e) const;
+
+  /// Reset all flows to zero (lets one graph be solved repeatedly).
+  void clear_flow();
+
+  /// Remove the most recently added nodes/edges so that `num_nodes` nodes
+  /// and `num_edges` edges remain. Used by the solver to drop its internal
+  /// super source/sink. Flows on surviving edges are preserved.
+  void truncate(NodeId num_nodes, EdgeId num_edges);
+
+  // --- residual-arc interface used by solvers -------------------------
+  struct Arc {
+    NodeId to;
+    Flow residual;  ///< remaining capacity of this residual arc
+    Cost cost;      ///< per-unit cost (negative on reverse arcs)
+  };
+
+  std::size_t num_arcs() const { return arcs_.size(); }
+  Arc& arc(std::size_t a) { return arcs_[a]; }
+  const Arc& arc(std::size_t a) const { return arcs_[a]; }
+  const std::vector<std::size_t>& out_arcs(NodeId v) const {
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+
+  /// Push `amount` along residual arc a (reduces its residual, grows the
+  /// partner arc's residual).
+  void push(std::size_t a, Flow amount);
+
+ private:
+  std::vector<Arc> arcs_;  // arc 2e = forward of edge e, 2e+1 = reverse
+  std::vector<NodeId> arc_tail_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace lfo::mcmf
+
+#endif  // LFO_MINCOSTFLOW_GRAPH_HPP

@@ -1,0 +1,198 @@
+#include "mincostflow/solver.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace lfo::mcmf {
+
+namespace {
+
+constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+
+/// Shared augmenting-path state.
+struct PathState {
+  std::vector<Cost> dist;
+  std::vector<std::size_t> parent_arc;
+  std::vector<char> reached;
+};
+
+/// Dijkstra on reduced costs. Requires reduced costs >= 0, which the
+/// potential update maintains as long as original costs are >= 0.
+bool dijkstra(const Graph& g, NodeId source, NodeId target,
+              const std::vector<Cost>& potential, PathState& st) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  st.dist.assign(n, kInfCost);
+  st.parent_arc.assign(n, SIZE_MAX);
+  st.reached.assign(n, 0);
+  using Item = std::pair<Cost, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  st.dist[static_cast<std::size_t>(source)] = 0;
+  pq.emplace(0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    const auto ui = static_cast<std::size_t>(u);
+    if (st.reached[ui]) continue;
+    st.reached[ui] = 1;
+    if (u == target) break;  // only the target's distance is needed exactly
+    for (const std::size_t a : g.out_arcs(u)) {
+      const auto& arc = g.arc(a);
+      if (arc.residual <= 0) continue;
+      const auto vi = static_cast<std::size_t>(arc.to);
+      if (st.reached[vi]) continue;
+      const Cost rc = arc.cost + potential[ui] - potential[vi];
+      const Cost nd = d + rc;
+      if (nd < st.dist[vi]) {
+        st.dist[vi] = nd;
+        st.parent_arc[vi] = a;
+        pq.emplace(nd, arc.to);
+      }
+    }
+  }
+  return st.reached[static_cast<std::size_t>(target)] != 0;
+}
+
+/// SPFA (queue-based Bellman-Ford); tolerates negative arc costs.
+bool spfa(const Graph& g, NodeId source, NodeId target, PathState& st) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  st.dist.assign(n, kInfCost);
+  st.parent_arc.assign(n, SIZE_MAX);
+  std::vector<char> in_queue(n, 0);
+  std::deque<NodeId> queue;
+  st.dist[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  in_queue[static_cast<std::size_t>(source)] = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const auto ui = static_cast<std::size_t>(u);
+    in_queue[ui] = 0;
+    for (const std::size_t a : g.out_arcs(u)) {
+      const auto& arc = g.arc(a);
+      if (arc.residual <= 0) continue;
+      const auto vi = static_cast<std::size_t>(arc.to);
+      const Cost nd = st.dist[ui] + arc.cost;
+      if (nd < st.dist[vi]) {
+        st.dist[vi] = nd;
+        st.parent_arc[vi] = a;
+        if (!in_queue[vi]) {
+          // SLF heuristic: put promising nodes at the front.
+          if (!queue.empty() &&
+              nd < st.dist[static_cast<std::size_t>(queue.front())]) {
+            queue.push_front(arc.to);
+          } else {
+            queue.push_back(arc.to);
+          }
+          in_queue[vi] = 1;
+        }
+      }
+    }
+  }
+  return st.dist[static_cast<std::size_t>(target)] < kInfCost;
+}
+
+}  // namespace
+
+SolveResult solve_min_cost_flow(Graph& graph, std::span<const Flow> supplies,
+                                Algorithm algorithm) {
+  if (static_cast<NodeId>(supplies.size()) != graph.num_nodes()) {
+    throw std::invalid_argument(
+        "solve_min_cost_flow: supplies size != num_nodes");
+  }
+  graph.clear_flow();
+
+  const NodeId n = graph.num_nodes();
+  const EdgeId original_edges = graph.num_edges();
+  const NodeId source = graph.add_node();
+  const NodeId target = graph.add_node();
+
+  Flow total_supply = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const Flow s = supplies[static_cast<std::size_t>(v)];
+    if (s > 0) {
+      graph.add_edge(source, v, s, 0);
+      total_supply += s;
+    } else if (s < 0) {
+      graph.add_edge(v, target, -s, 0);
+    }
+  }
+
+  SolveResult result;
+  PathState st;
+  std::vector<Cost> potential(static_cast<std::size_t>(graph.num_nodes()), 0);
+  Flow routed = 0;
+
+  while (routed < total_supply) {
+    bool found;
+    if (algorithm == Algorithm::kSuccessiveShortestPaths) {
+      found = dijkstra(graph, source, target, potential, st);
+    } else {
+      found = spfa(graph, source, target, st);
+    }
+    if (!found) break;
+    ++result.augmentations;
+
+    if (algorithm == Algorithm::kSuccessiveShortestPaths) {
+      // Johnson potential update keeps reduced costs non-negative. Nodes
+      // never reached keep their potential (their dist is +inf).
+      for (std::size_t v = 0; v < potential.size(); ++v) {
+        if (st.dist[v] < kInfCost) potential[v] += st.dist[v];
+      }
+    }
+
+    // Bottleneck along the source->target path.
+    Flow bottleneck = std::numeric_limits<Flow>::max();
+    for (NodeId v = target; v != source;) {
+      const std::size_t a = st.parent_arc[static_cast<std::size_t>(v)];
+      bottleneck = std::min(bottleneck, graph.arc(a).residual);
+      v = graph.arc(a ^ 1).to;  // tail of arc a
+    }
+    for (NodeId v = target; v != source;) {
+      const std::size_t a = st.parent_arc[static_cast<std::size_t>(v)];
+      graph.push(a, bottleneck);
+      v = graph.arc(a ^ 1).to;
+    }
+    routed += bottleneck;
+  }
+
+  result.feasible = routed == total_supply;
+  result.total_flow = routed;
+  // Cost over the caller's edges only (super edges have zero cost anyway,
+  // but exclude them for cleanliness).
+  Cost cost = 0;
+  for (EdgeId e = 0; e < original_edges; ++e) {
+    cost += graph.flow(e) * graph.cost(e);
+  }
+  result.total_cost = cost;
+
+  graph.truncate(n, original_edges);
+  return result;
+}
+
+Cost flow_cost(const Graph& graph) {
+  Cost cost = 0;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    cost += graph.flow(e) * graph.cost(e);
+  }
+  return cost;
+}
+
+bool is_feasible_flow(const Graph& graph, std::span<const Flow> supplies) {
+  if (static_cast<NodeId>(supplies.size()) != graph.num_nodes()) return false;
+  std::vector<Flow> net(supplies.size(), 0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Flow f = graph.flow(e);
+    if (f < 0 || f > graph.capacity(e)) return false;
+    net[static_cast<std::size_t>(graph.edge_from(e))] += f;
+    net[static_cast<std::size_t>(graph.edge_to(e))] -= f;
+  }
+  for (std::size_t v = 0; v < net.size(); ++v) {
+    if (net[v] != supplies[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace lfo::mcmf

@@ -1,0 +1,48 @@
+#ifndef LFO_MINCOSTFLOW_SOLVER_HPP
+#define LFO_MINCOSTFLOW_SOLVER_HPP
+
+#include <span>
+#include <vector>
+
+#include "mincostflow/graph.hpp"
+
+namespace lfo::mcmf {
+
+/// Result of a min-cost flow computation. Per-edge flows live on the graph.
+struct SolveResult {
+  bool feasible = false;  ///< all supplies routed to demands
+  Cost total_cost = 0;    ///< sum over edges of flow * cost
+  Flow total_flow = 0;    ///< units routed from sources to sinks
+  std::size_t augmentations = 0;  ///< shortest-path rounds (diagnostics)
+};
+
+/// Solver algorithm selection.
+enum class Algorithm {
+  /// Successive shortest paths with Johnson potentials + Dijkstra.
+  /// Requires non-negative edge costs (the OPT graphs satisfy this).
+  kSuccessiveShortestPaths,
+  /// Bellman-Ford (SPFA) based successive shortest paths. Slower, but
+  /// handles negative edge costs; used as a cross-check oracle in tests.
+  kBellmanFord,
+};
+
+/// Solve the min-cost flow problem for `graph` with node `supplies`
+/// (positive = source excess, negative = sink demand; must sum to zero for
+/// feasibility). Flows are recorded on the graph's edges.
+///
+/// A super-source/super-sink pair is appended internally and removed before
+/// returning, so the caller's node ids stay valid.
+SolveResult solve_min_cost_flow(
+    Graph& graph, std::span<const Flow> supplies,
+    Algorithm algorithm = Algorithm::kSuccessiveShortestPaths);
+
+/// Recompute the objective from per-edge flows (for verification in tests).
+Cost flow_cost(const Graph& graph);
+
+/// Check flow conservation against supplies; returns true when every node's
+/// net outflow equals its supply and no edge exceeds capacity.
+bool is_feasible_flow(const Graph& graph, std::span<const Flow> supplies);
+
+}  // namespace lfo::mcmf
+
+#endif  // LFO_MINCOSTFLOW_SOLVER_HPP

@@ -1,0 +1,94 @@
+#include "opt/belady.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lfo::opt {
+
+BeladyResult simulate_belady(std::span<const trace::Request> reqs,
+                             std::uint64_t cache_size,
+                             BeladyVariant variant) {
+  if (cache_size == 0) {
+    throw std::invalid_argument("simulate_belady: zero cache size");
+  }
+  const auto next = trace::next_request_indices(reqs);
+
+  BeladyResult res;
+  res.total_requests = reqs.size();
+
+  // Priority = eviction key (largest evicted first). Keyed map from
+  // priority to object, plus an object -> iterator index for updates.
+  struct Entry {
+    std::uint64_t size;
+  };
+  std::multimap<double, trace::ObjectId, std::greater<>> evict_order;
+  std::unordered_map<trace::ObjectId,
+                     std::multimap<double, trace::ObjectId,
+                                   std::greater<>>::iterator>
+      handles;
+  std::unordered_map<trace::ObjectId, Entry> cached;
+  std::uint64_t used = 0;
+
+  auto priority = [&](std::size_t i) -> double {
+    const auto dist = next[i] == trace::kNoNextRequest
+                          ? static_cast<double>(reqs.size() + 1)
+                          : static_cast<double>(next[i] - i);
+    if (variant == BeladyVariant::kFarthestNextUseBytes) {
+      return dist * static_cast<double>(reqs[i].size);
+    }
+    return dist;
+  };
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& r = reqs[i];
+    res.total_bytes += r.size;
+    const auto it = cached.find(r.object);
+    const bool hit = it != cached.end();
+    if (hit) {
+      ++res.hit_requests;
+      res.hit_bytes += r.size;
+      // Refresh the eviction priority to reflect the new next use.
+      evict_order.erase(handles[r.object]);
+      handles[r.object] = evict_order.emplace(priority(i), r.object);
+      continue;
+    }
+    if (r.size > cache_size) continue;  // cannot fit at all
+    if (next[i] == trace::kNoNextRequest) continue;  // never again: skip
+    // Evict while needed, but never evict objects that would be reused
+    // sooner than this one if that exhausts the benefit: plain Belady just
+    // evicts the farthest-future entries until the object fits.
+    while (used + r.size > cache_size && !evict_order.empty()) {
+      const auto victim = evict_order.begin();
+      // Do not admit if we'd evict something strictly more valuable
+      // (farther-future insertion would thrash): compare priorities.
+      if (victim->first <= priority(i) &&
+          variant == BeladyVariant::kFarthestNextUse) {
+        break;
+      }
+      if (victim->first <= priority(i) &&
+          variant == BeladyVariant::kFarthestNextUseBytes) {
+        break;
+      }
+      const auto obj = victim->second;
+      used -= cached[obj].size;
+      cached.erase(obj);
+      handles.erase(obj);
+      evict_order.erase(victim);
+    }
+    if (used + r.size > cache_size) continue;  // admission declined
+    cached.emplace(r.object, Entry{r.size});
+    handles[r.object] = evict_order.emplace(priority(i), r.object);
+    used += r.size;
+  }
+
+  res.bhr = res.total_bytes ? static_cast<double>(res.hit_bytes) /
+                                  static_cast<double>(res.total_bytes)
+                            : 0.0;
+  res.ohr = res.total_requests ? static_cast<double>(res.hit_requests) /
+                                     static_cast<double>(res.total_requests)
+                               : 0.0;
+  return res;
+}
+
+}  // namespace lfo::opt

@@ -1,0 +1,37 @@
+#ifndef LFO_OPT_BELADY_HPP
+#define LFO_OPT_BELADY_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "trace/trace.hpp"
+
+namespace lfo::opt {
+
+/// Belady variants: offline eviction baselines. For unit-size objects,
+/// kFarthestNextUse is the true OPT (Belady's MIN); with variable sizes it
+/// is only a heuristic, which is exactly why the paper needs the flow-based
+/// OPT. We keep these as offline baselines and as test oracles (the flow
+/// OPT must never lose to them).
+enum class BeladyVariant {
+  kFarthestNextUse,       ///< evict the object whose next use is farthest
+  kFarthestNextUseBytes,  ///< evict by next-use distance * size (byte-aware)
+};
+
+struct BeladyResult {
+  std::uint64_t hit_requests = 0;
+  std::uint64_t hit_bytes = 0;
+  std::uint64_t total_requests = 0;
+  std::uint64_t total_bytes = 0;
+  double bhr = 0.0;
+  double ohr = 0.0;
+};
+
+/// Simulate offline Belady with full future knowledge over `reqs`.
+/// Objects larger than the cache are never admitted.
+BeladyResult simulate_belady(std::span<const trace::Request> reqs,
+                             std::uint64_t cache_size, BeladyVariant variant);
+
+}  // namespace lfo::opt
+
+#endif  // LFO_OPT_BELADY_HPP

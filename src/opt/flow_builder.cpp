@@ -1,0 +1,65 @@
+#include "opt/flow_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lfo::opt {
+
+std::vector<Interval> build_intervals(std::span<const trace::Request> reqs) {
+  const auto next = trace::next_request_indices(reqs);
+  std::vector<Interval> intervals;
+  intervals.reserve(reqs.size() / 2);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (next[i] == trace::kNoNextRequest) continue;
+    Interval iv;
+    iv.start = i;
+    iv.end = next[i];
+    iv.size = reqs[i].size;
+    iv.cost = reqs[i].cost;
+    intervals.push_back(iv);
+  }
+  return intervals;
+}
+
+FlowProblem build_flow_problem(std::span<const trace::Request> reqs,
+                               std::uint64_t cache_size,
+                               std::int64_t cost_scale,
+                               std::span<const Interval> intervals,
+                               std::span<const std::uint8_t> keep) {
+  if (!keep.empty() && keep.size() != intervals.size()) {
+    throw std::invalid_argument(
+        "build_flow_problem: keep mask size mismatch");
+  }
+  FlowProblem p;
+  const auto n = static_cast<mcmf::NodeId>(reqs.size());
+  p.graph = mcmf::Graph(n);
+  p.graph.reserve(n, n + static_cast<mcmf::EdgeId>(intervals.size()));
+  p.supplies.assign(reqs.size(), 0);
+  p.intervals.assign(intervals.begin(), intervals.end());
+  p.bypass_edges.assign(intervals.size(), -1);
+
+  // Central path: capacity = cache size, zero cost.
+  for (mcmf::NodeId v = 0; v + 1 < n; ++v) {
+    p.graph.add_edge(v, v + 1, static_cast<mcmf::Flow>(cache_size), 0);
+  }
+
+  for (std::size_t k = 0; k < intervals.size(); ++k) {
+    if (!keep.empty() && !keep[k]) continue;
+    const auto& iv = intervals[k];
+    // Integer per-byte cost, >= 1 so that bypassing is never free and the
+    // solver prefers the central (cached) path whenever capacity allows.
+    const double per_byte =
+        iv.cost / static_cast<double>(iv.size) * static_cast<double>(cost_scale);
+    const auto unit_cost =
+        std::max<mcmf::Cost>(1, static_cast<mcmf::Cost>(std::llround(per_byte)));
+    p.bypass_edges[k] = p.graph.add_edge(
+        static_cast<mcmf::NodeId>(iv.start), static_cast<mcmf::NodeId>(iv.end),
+        static_cast<mcmf::Flow>(iv.size), unit_cost);
+    p.supplies[iv.start] += static_cast<mcmf::Flow>(iv.size);
+    p.supplies[iv.end] -= static_cast<mcmf::Flow>(iv.size);
+  }
+  return p;
+}
+
+}  // namespace lfo::opt

@@ -1,0 +1,63 @@
+#ifndef LFO_OPT_FLOW_BUILDER_HPP
+#define LFO_OPT_FLOW_BUILDER_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mincostflow/graph.hpp"
+#include "trace/trace.hpp"
+
+namespace lfo::opt {
+
+/// A caching "interval": request `start` of an object whose next request is
+/// `end` (start < end). Caching the object across this interval turns
+/// request `end` into a hit worth `cost`; keeping it occupies `size` bytes
+/// on every time step in [start, end).
+struct Interval {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::uint64_t size = 0;
+  double cost = 0.0;
+};
+
+/// Enumerate all caching intervals of a request window (consecutive-request
+/// pairs of the same object).
+std::vector<Interval> build_intervals(std::span<const trace::Request> reqs);
+
+/// The min-cost flow encoding of OPT (paper Fig 4).
+struct FlowProblem {
+  mcmf::Graph graph;
+  std::vector<mcmf::Flow> supplies;
+  /// bypass_edge[k] is the graph edge id of intervals[k]'s bypass edge.
+  std::vector<mcmf::EdgeId> bypass_edges;
+  std::vector<Interval> intervals;
+  /// Index into the window of the first node; node v represents request
+  /// node_offset + v.
+  std::uint64_t node_offset = 0;
+};
+
+/// Build the flow network for a window:
+///  - one node per request in the window,
+///  - central edges i -> i+1 with capacity `cache_size` and zero cost,
+///  - a bypass edge per interval with capacity = object size and per-unit
+///    cost = retrieval cost / size, scaled by `cost_scale` to an integer
+///    (minimum 1 so no bypass is ever free).
+///
+/// Supplies are per interval: +size at its start node, -size at its end
+/// node; intermediate requests of an object net to zero, which is
+/// equivalent to the paper's first-request-excess / last-request-demand
+/// formulation.
+///
+/// `keep` optionally masks intervals (rank-splitting, paper §2.1): masked
+/// intervals get neither a bypass edge nor supplies and are treated as
+/// not cached.
+FlowProblem build_flow_problem(std::span<const trace::Request> reqs,
+                               std::uint64_t cache_size,
+                               std::int64_t cost_scale,
+                               std::span<const Interval> intervals,
+                               std::span<const std::uint8_t> keep = {});
+
+}  // namespace lfo::opt
+
+#endif  // LFO_OPT_FLOW_BUILDER_HPP

@@ -1,0 +1,62 @@
+#include "opt/segment_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lfo::opt {
+
+MinSegmentTree::MinSegmentTree(std::size_t size, std::int64_t initial)
+    : n_(size) {
+  if (size == 0) throw std::invalid_argument("MinSegmentTree: empty");
+  min_.assign(4 * size, initial);
+  lazy_.assign(4 * size, 0);
+}
+
+std::int64_t MinSegmentTree::range_min(std::size_t lo, std::size_t hi) const {
+  if (lo >= hi || hi > n_) {
+    throw std::out_of_range("MinSegmentTree::range_min: bad range");
+  }
+  return query(1, 0, n_, lo, hi);
+}
+
+void MinSegmentTree::range_add(std::size_t lo, std::size_t hi,
+                               std::int64_t delta) {
+  if (lo >= hi || hi > n_) {
+    throw std::out_of_range("MinSegmentTree::range_add: bad range");
+  }
+  update(1, 0, n_, lo, hi, delta);
+}
+
+std::int64_t MinSegmentTree::at(std::size_t i) const {
+  return range_min(i, i + 1);
+}
+
+std::int64_t MinSegmentTree::query(std::size_t node, std::size_t node_lo,
+                                   std::size_t node_hi, std::size_t lo,
+                                   std::size_t hi) const {
+  if (lo <= node_lo && node_hi <= hi) return min_[node] + lazy_[node];
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  if (lo < mid) best = std::min(best, query(node * 2, node_lo, mid, lo, hi));
+  if (hi > mid) {
+    best = std::min(best, query(node * 2 + 1, mid, node_hi, lo, hi));
+  }
+  return best + lazy_[node];
+}
+
+void MinSegmentTree::update(std::size_t node, std::size_t node_lo,
+                            std::size_t node_hi, std::size_t lo,
+                            std::size_t hi, std::int64_t delta) {
+  if (lo <= node_lo && node_hi <= hi) {
+    lazy_[node] += delta;
+    return;
+  }
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  if (lo < mid) update(node * 2, node_lo, mid, lo, hi, delta);
+  if (hi > mid) update(node * 2 + 1, mid, node_hi, lo, hi, delta);
+  min_[node] = std::min(min_[node * 2] + lazy_[node * 2],
+                        min_[node * 2 + 1] + lazy_[node * 2 + 1]);
+}
+
+}  // namespace lfo::opt

@@ -1,0 +1,43 @@
+#ifndef LFO_OPT_SEGMENT_TREE_HPP
+#define LFO_OPT_SEGMENT_TREE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lfo::opt {
+
+/// Segment tree over an array of int64 with lazy range-add and range-min
+/// query. Backbone of the greedy interval-packing OPT approximation: leaf t
+/// holds the free cache capacity on the central edge between requests t and
+/// t+1; admitting an interval subtracts its size over [start, end).
+class MinSegmentTree {
+ public:
+  /// All leaves initialized to `initial`.
+  MinSegmentTree(std::size_t size, std::int64_t initial);
+
+  std::size_t size() const { return n_; }
+
+  /// Minimum over [lo, hi) (half-open). Requires lo < hi <= size().
+  std::int64_t range_min(std::size_t lo, std::size_t hi) const;
+
+  /// Add delta to every element in [lo, hi).
+  void range_add(std::size_t lo, std::size_t hi, std::int64_t delta);
+
+  /// Point read (for tests / introspection).
+  std::int64_t at(std::size_t i) const;
+
+ private:
+  std::int64_t query(std::size_t node, std::size_t node_lo, std::size_t node_hi,
+                     std::size_t lo, std::size_t hi) const;
+  void update(std::size_t node, std::size_t node_lo, std::size_t node_hi,
+              std::size_t lo, std::size_t hi, std::int64_t delta);
+
+  std::size_t n_;
+  mutable std::vector<std::int64_t> min_;
+  mutable std::vector<std::int64_t> lazy_;
+};
+
+}  // namespace lfo::opt
+
+#endif  // LFO_OPT_SEGMENT_TREE_HPP

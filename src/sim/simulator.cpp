@@ -1,0 +1,100 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+
+#include "cache/factory.hpp"
+#include "opt/opt.hpp"
+#include "util/logging.hpp"
+
+namespace lfo::sim {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+PolicyResult simulate_policy(cache::CachePolicy& policy,
+                             const trace::Trace& trace) {
+  const auto start = Clock::now();
+  for (const auto& r : trace.requests()) policy.access(r);
+  PolicyResult result;
+  result.name = policy.name();
+  result.bhr = policy.stats().bhr();
+  result.ohr = policy.stats().ohr();
+  result.hits = policy.stats().hits;
+  result.requests = policy.stats().requests;
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+std::vector<std::string> fig6_policies() {
+  return {"LRU",      "LRU-2",     "LFUDA", "S4LRU",
+          "GD-Wheel", "AdaptSize", "Hyperbolic", "LHD"};
+}
+
+std::vector<PolicyResult> run_comparison(const trace::Trace& trace,
+                                         const ComparisonConfig& config) {
+  std::vector<PolicyResult> results;
+  const auto names =
+      config.policies.empty() ? fig6_policies() : config.policies;
+  for (const auto& name : names) {
+    auto policy = cache::make_policy(name, config.cache_size, config.seed);
+    util::log_info("simulating ", name);
+    results.push_back(simulate_policy(*policy, trace));
+  }
+
+  if (config.include_lfo) {
+    util::log_info("simulating LFO (windowed)");
+    auto lfo_config = config.lfo;
+    lfo_config.lfo.set_cache_size(config.cache_size);
+    const auto start = Clock::now();
+    const auto windowed = core::run_windowed_lfo(trace, lfo_config);
+    PolicyResult r;
+    r.name = "LFO";
+    r.bhr = windowed.overall.bhr();
+    r.ohr = windowed.overall.ohr();
+    r.hits = windowed.overall.hits;
+    r.requests = windowed.overall.requests;
+    r.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    results.push_back(r);
+  }
+
+  if (config.include_opt) {
+    util::log_info("computing OPT bound");
+    auto opt_config = config.opt;
+    opt_config.cache_size = config.cache_size;
+    const auto start = Clock::now();
+    const auto decisions = opt::compute_opt(
+        std::span<const trace::Request>(trace.requests()), opt_config);
+    PolicyResult r;
+    r.name = "OPT";
+    r.bhr = decisions.bhr;
+    r.ohr = decisions.ohr;
+    r.hits = decisions.hit_requests;
+    r.requests = decisions.total_requests;
+    r.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    results.push_back(r);
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const PolicyResult& a, const PolicyResult& b) {
+              return a.bhr > b.bhr;
+            });
+  return results;
+}
+
+void print_comparison(std::ostream& os,
+                      const std::vector<PolicyResult>& results) {
+  os << std::left << std::setw(12) << "policy" << std::right << std::setw(10)
+     << "BHR" << std::setw(10) << "OHR" << std::setw(12) << "hits"
+     << std::setw(10) << "time[s]" << '\n';
+  for (const auto& r : results) {
+    os << std::left << std::setw(12) << r.name << std::right << std::fixed
+       << std::setprecision(4) << std::setw(10) << r.bhr << std::setw(10)
+       << r.ohr << std::setw(12) << r.hits << std::setprecision(2)
+       << std::setw(10) << r.seconds << '\n';
+  }
+}
+
+}  // namespace lfo::sim

@@ -1,0 +1,57 @@
+#ifndef LFO_SIM_SIMULATOR_HPP
+#define LFO_SIM_SIMULATOR_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "core/windowed.hpp"
+#include "trace/trace.hpp"
+
+namespace lfo::sim {
+
+/// One policy's end-to-end result over a trace.
+struct PolicyResult {
+  std::string name;
+  double bhr = 0.0;
+  double ohr = 0.0;
+  std::uint64_t hits = 0;
+  std::uint64_t requests = 0;
+  double seconds = 0.0;  ///< wall time of the simulation
+};
+
+/// Replay the whole trace through one policy.
+PolicyResult simulate_policy(cache::CachePolicy& policy,
+                             const trace::Trace& trace);
+
+/// Configuration of a full policy comparison (the Fig 6 experiment).
+struct ComparisonConfig {
+  std::uint64_t cache_size = 1ULL << 30;
+  std::uint64_t seed = 1;
+  /// Policies by factory name; empty = the paper's Fig 6 line-up.
+  std::vector<std::string> policies;
+  /// Include the windowed LFO system.
+  bool include_lfo = true;
+  core::WindowedConfig lfo;
+  /// Include the offline OPT bound.
+  bool include_opt = true;
+  opt::OptConfig opt;
+};
+
+/// Run every requested policy (plus LFO and OPT) over the trace and return
+/// results sorted by descending BHR.
+std::vector<PolicyResult> run_comparison(const trace::Trace& trace,
+                                         const ComparisonConfig& config);
+
+/// Pretty-print a comparison as an aligned table (harness output).
+void print_comparison(std::ostream& os,
+                      const std::vector<PolicyResult>& results);
+
+/// The paper's Fig 6 policy line-up (factory names, excluding LFO/OPT
+/// which run through their own paths).
+std::vector<std::string> fig6_policies();
+
+}  // namespace lfo::sim
+
+#endif  // LFO_SIM_SIMULATOR_HPP

@@ -1,0 +1,201 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "trace/zipf.hpp"
+
+namespace lfo::trace {
+
+namespace {
+
+/// Per-class runtime state: catalog of object sizes, Zipf sampler, and the
+/// rank -> object permutation that drift reshuffles.
+struct ClassState {
+  ZipfSampler zipf;
+  std::vector<std::uint64_t> sizes;      // indexed by local object index
+  std::vector<std::uint64_t> rank_to_obj;  // local object index per rank
+  ObjectId id_base = 0;                  // global id = id_base + local index
+
+  ClassState(const ContentClass& cc, ObjectId base, util::Rng& rng)
+      : zipf(cc.num_objects, cc.zipf_alpha) {
+    id_base = base;
+    sizes.reserve(cc.num_objects);
+    for (std::uint64_t i = 0; i < cc.num_objects; ++i) {
+      const double raw = rng.lognormal(cc.size_log_mean, cc.size_log_sigma);
+      const auto bytes = static_cast<std::uint64_t>(
+          std::clamp(raw, static_cast<double>(cc.min_size),
+                     static_cast<double>(cc.max_size)));
+      sizes.push_back(std::max<std::uint64_t>(1, bytes));
+    }
+    rank_to_obj.resize(cc.num_objects);
+    std::iota(rank_to_obj.begin(), rank_to_obj.end(), 0);
+    // Random rank assignment so object id carries no popularity signal.
+    for (std::uint64_t i = cc.num_objects; i > 1; --i) {
+      std::swap(rank_to_obj[i - 1], rank_to_obj[rng.uniform(i)]);
+    }
+  }
+
+  void reshuffle(double fraction, util::Rng& rng) {
+    const auto swaps = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(rank_to_obj.size()));
+    for (std::uint64_t s = 0; s < swaps; ++s) {
+      const auto a = rng.uniform(rank_to_obj.size());
+      const auto b = rng.uniform(rank_to_obj.size());
+      std::swap(rank_to_obj[a], rank_to_obj[b]);
+    }
+  }
+};
+
+}  // namespace
+
+Trace generate_trace(const GeneratorConfig& config) {
+  if (config.classes.empty()) {
+    throw std::invalid_argument("generate_trace: need at least one class");
+  }
+  util::Rng rng(config.seed);
+
+  // Build per-class state and the class-share CDF.
+  std::vector<ClassState> states;
+  states.reserve(config.classes.size());
+  ObjectId next_base = 0;
+  double share_sum = 0.0;
+  std::vector<double> share_cdf;
+  for (const auto& cc : config.classes) {
+    if (cc.num_objects == 0) {
+      throw std::invalid_argument("generate_trace: class with zero objects");
+    }
+    states.emplace_back(cc, next_base, rng);
+    next_base += cc.num_objects;
+    share_sum += cc.traffic_share;
+    share_cdf.push_back(share_sum);
+  }
+  for (auto& c : share_cdf) c /= share_sum;
+
+  // Flash-crowd state.
+  bool crowd_active = false;
+  std::uint64_t crowd_until = 0;
+  ObjectId crowd_object = 0;
+  std::uint64_t crowd_size = 0;
+
+  std::vector<Request> reqs;
+  reqs.reserve(config.num_requests);
+  const auto& drift = config.drift;
+
+  for (std::uint64_t t = 0; t < config.num_requests; ++t) {
+    if (drift.reshuffle_interval != 0 && t != 0 &&
+        t % drift.reshuffle_interval == 0) {
+      for (auto& st : states) st.reshuffle(drift.reshuffle_fraction, rng);
+      if (rng.bernoulli(drift.flash_crowd_probability)) {
+        // Pick a random object from a random class to spike.
+        const auto ci = rng.uniform(states.size());
+        const auto local = rng.uniform(states[ci].sizes.size());
+        crowd_object = states[ci].id_base + local;
+        crowd_size = states[ci].sizes[local];
+        crowd_until = t + drift.flash_crowd_duration;
+        crowd_active = true;
+      }
+    }
+    if (crowd_active && t >= crowd_until) crowd_active = false;
+
+    Request r;
+    if (crowd_active && rng.bernoulli(drift.flash_crowd_share)) {
+      r.object = crowd_object;
+      r.size = crowd_size;
+    } else {
+      const double u = rng.uniform01();
+      const auto it = std::lower_bound(share_cdf.begin(), share_cdf.end(), u);
+      const auto ci = static_cast<std::size_t>(it - share_cdf.begin());
+      auto& st = states[ci];
+      const auto rank = st.zipf.sample(rng);
+      const auto local = st.rank_to_obj[rank];
+      r.object = st.id_base + local;
+      r.size = st.sizes[local];
+    }
+    reqs.push_back(r);
+  }
+
+  Trace trace(std::move(reqs));
+  trace.apply_cost_model(config.cost_model);
+  return trace;
+}
+
+Trace generate_zipf_trace(std::uint64_t num_requests,
+                          std::uint64_t num_objects, double alpha,
+                          std::uint64_t seed, CostModel cost_model) {
+  GeneratorConfig config;
+  config.num_requests = num_requests;
+  config.seed = seed;
+  config.cost_model = cost_model;
+  ContentClass cc;
+  cc.name = "zipf";
+  cc.num_objects = num_objects;
+  cc.zipf_alpha = alpha;
+  config.classes.push_back(cc);
+  return generate_trace(config);
+}
+
+ContentClass web_class(std::uint64_t num_objects) {
+  ContentClass cc;
+  cc.name = "web";
+  cc.num_objects = num_objects;
+  cc.zipf_alpha = 0.95;
+  cc.size_log_mean = std::log(24.0 * 1024);  // ~24 KiB html/css/js
+  cc.size_log_sigma = 1.3;
+  cc.min_size = 256;
+  cc.max_size = 4ULL << 20;
+  cc.traffic_share = 0.35;
+  return cc;
+}
+
+ContentClass photo_class(std::uint64_t num_objects) {
+  ContentClass cc;
+  cc.name = "photo";
+  cc.num_objects = num_objects;
+  cc.zipf_alpha = 0.75;  // long tail of rarely requested photos
+  cc.size_log_mean = std::log(64.0 * 1024);
+  cc.size_log_sigma = 0.8;
+  cc.min_size = 1024;
+  cc.max_size = 8ULL << 20;
+  cc.traffic_share = 0.35;
+  return cc;
+}
+
+ContentClass video_class(std::uint64_t num_objects) {
+  ContentClass cc;
+  cc.name = "video";
+  cc.num_objects = num_objects;
+  cc.zipf_alpha = 1.05;  // strongly skewed towards popular titles
+  cc.size_log_mean = std::log(2.0 * 1024 * 1024);  // ~2 MiB chunks
+  cc.size_log_sigma = 0.5;
+  cc.min_size = 128 * 1024;
+  cc.max_size = 16ULL << 20;
+  cc.traffic_share = 0.2;
+  return cc;
+}
+
+ContentClass download_class(std::uint64_t num_objects) {
+  ContentClass cc;
+  cc.name = "download";
+  cc.num_objects = num_objects;
+  cc.zipf_alpha = 1.2;  // few very hot installers / updates
+  cc.size_log_mean = std::log(48.0 * 1024 * 1024);  // large binaries
+  cc.size_log_sigma = 1.0;
+  cc.min_size = 1 << 20;
+  cc.max_size = 1ULL << 31;
+  cc.traffic_share = 0.1;
+  return cc;
+}
+
+std::vector<ContentClass> production_mix(double scale) {
+  auto scaled = [scale](std::uint64_t n) {
+    return std::max<std::uint64_t>(
+        8, static_cast<std::uint64_t>(static_cast<double>(n) * scale));
+  };
+  return {web_class(scaled(40000)), photo_class(scaled(60000)),
+          video_class(scaled(8000)), download_class(scaled(500))};
+}
+
+}  // namespace lfo::trace

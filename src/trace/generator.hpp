@@ -1,0 +1,77 @@
+#ifndef LFO_TRACE_GENERATOR_HPP
+#define LFO_TRACE_GENERATOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace lfo::trace {
+
+/// One content class of the CDN mix the paper's introduction motivates
+/// (web / social photos / software downloads / video chunks). Each class has
+/// its own catalog, Zipf popularity skew, and object-size distribution
+/// (log-normal in log-bytes, clamped).
+struct ContentClass {
+  std::string name;
+  std::uint64_t num_objects = 1000;
+  double zipf_alpha = 0.9;
+  double size_log_mean = 10.0;   ///< mean of ln(bytes)
+  double size_log_sigma = 1.0;   ///< stddev of ln(bytes)
+  std::uint64_t min_size = 64;   ///< clamp, bytes
+  std::uint64_t max_size = 1ULL << 32;  ///< clamp, bytes
+  double traffic_share = 1.0;    ///< relative request share (normalized)
+};
+
+/// Non-stationarity knobs. The paper stresses that CDN content mixes change
+/// within minutes (load-balancer reshuffles, multi-CDN traffic shifts, iOS
+/// update days); these transforms exercise LFO's windowed re-training.
+struct DriftConfig {
+  /// Every `reshuffle_interval` requests, re-assign a random
+  /// `reshuffle_fraction` of popularity ranks to different objects
+  /// (models users being re-routed to this server). 0 disables.
+  std::uint64_t reshuffle_interval = 0;
+  double reshuffle_fraction = 0.1;
+
+  /// With probability `flash_crowd_probability` at each reshuffle point,
+  /// one random object absorbs `flash_crowd_share` of requests for
+  /// `flash_crowd_duration` requests (models software-release spikes).
+  double flash_crowd_probability = 0.0;
+  double flash_crowd_share = 0.25;
+  std::uint64_t flash_crowd_duration = 10000;
+};
+
+/// Full generator configuration.
+struct GeneratorConfig {
+  std::uint64_t num_requests = 100000;
+  std::uint64_t seed = 1;
+  CostModel cost_model = CostModel::kByteHitRatio;
+  std::vector<ContentClass> classes;
+  DriftConfig drift;
+};
+
+/// Generate a synthetic CDN trace. Object ids are dense across all classes.
+/// Each object keeps a fixed size for the whole trace (as in real CDN
+/// traces and as OPT's flow formulation requires).
+Trace generate_trace(const GeneratorConfig& config);
+
+/// Convenience: single-class Zipf trace (used widely in tests).
+Trace generate_zipf_trace(std::uint64_t num_requests, std::uint64_t num_objects,
+                          double alpha, std::uint64_t seed,
+                          CostModel cost_model = CostModel::kByteHitRatio);
+
+/// Preset classes modelled on the paper's motivating examples.
+ContentClass web_class(std::uint64_t num_objects = 40000);
+ContentClass photo_class(std::uint64_t num_objects = 60000);
+ContentClass video_class(std::uint64_t num_objects = 8000);
+ContentClass download_class(std::uint64_t num_objects = 500);
+
+/// The default "production mix" used by the benches: web + photo + video +
+/// download with shares 0.35/0.35/0.2/0.1.
+std::vector<ContentClass> production_mix(double scale = 1.0);
+
+}  // namespace lfo::trace
+
+#endif  // LFO_TRACE_GENERATOR_HPP

@@ -1,0 +1,133 @@
+#include "trace/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace lfo::trace {
+
+namespace {
+constexpr char kMagic[8] = {'L', 'F', 'O', 'T', 'R', 'C', '0', '1'};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("trace io: " + what);
+}
+
+std::ifstream open_in(const std::string& path, std::ios::openmode mode) {
+  std::ifstream in(path, mode);
+  if (!in) fail("cannot open for reading: " + path);
+  return in;
+}
+
+std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
+  std::ofstream out(path, mode);
+  if (!out) fail("cannot open for writing: " + path);
+  return out;
+}
+}  // namespace
+
+Trace read_text_trace(std::istream& in) {
+  std::vector<Request> reqs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    // Accept space- or tab-separated fields.
+    std::vector<std::string_view> fields;
+    std::string_view rest = trimmed;
+    while (!rest.empty()) {
+      const auto pos = rest.find_first_of(" \t");
+      fields.push_back(rest.substr(0, pos));
+      if (pos == std::string_view::npos) break;
+      rest = rest.substr(pos);
+      const auto nonspace = rest.find_first_not_of(" \t");
+      rest = nonspace == std::string_view::npos ? std::string_view{}
+                                                : rest.substr(nonspace);
+    }
+    if (fields.size() < 2) fail("line " + std::to_string(lineno) +
+                                ": expected 'object size [cost]'");
+    Request r;
+    const auto obj = util::parse_uint(fields[0]);
+    const auto size = util::parse_uint(fields[1]);
+    if (!obj || !size) fail("line " + std::to_string(lineno) + ": bad number");
+    r.object = *obj;
+    r.size = *size;
+    if (fields.size() >= 3) {
+      const auto cost = util::parse_double(fields[2]);
+      if (!cost) fail("line " + std::to_string(lineno) + ": bad cost");
+      r.cost = *cost;
+    } else {
+      r.cost = static_cast<double>(r.size);  // BHR cost model default
+    }
+    reqs.push_back(r);
+  }
+  densify_object_ids(reqs);
+  return Trace(std::move(reqs));
+}
+
+Trace read_text_trace_file(const std::string& path) {
+  auto in = open_in(path, std::ios::in);
+  return read_text_trace(in);
+}
+
+void write_text_trace(const Trace& trace, std::ostream& out) {
+  out << "# object size cost\n";
+  for (const auto& r : trace.requests()) {
+    out << r.object << ' ' << r.size << ' ' << r.cost << '\n';
+  }
+}
+
+void write_text_trace_file(const Trace& trace, const std::string& path) {
+  auto out = open_out(path, std::ios::out);
+  write_text_trace(trace, out);
+}
+
+Trace read_binary_trace(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    fail("bad magic (not an LFO binary trace)");
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in) fail("truncated header");
+  std::vector<Request> reqs;
+  reqs.resize(count);
+  for (auto& r : reqs) {
+    in.read(reinterpret_cast<char*>(&r.object), sizeof r.object);
+    in.read(reinterpret_cast<char*>(&r.size), sizeof r.size);
+    in.read(reinterpret_cast<char*>(&r.cost), sizeof r.cost);
+  }
+  if (!in) fail("truncated body");
+  return Trace(std::move(reqs));
+}
+
+Trace read_binary_trace_file(const std::string& path) {
+  auto in = open_in(path, std::ios::in | std::ios::binary);
+  return read_binary_trace(in);
+}
+
+void write_binary_trace(const Trace& trace, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  const std::uint64_t count = trace.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (const auto& r : trace.requests()) {
+    out.write(reinterpret_cast<const char*>(&r.object), sizeof r.object);
+    out.write(reinterpret_cast<const char*>(&r.size), sizeof r.size);
+    out.write(reinterpret_cast<const char*>(&r.cost), sizeof r.cost);
+  }
+  if (!out) fail("write failure");
+}
+
+void write_binary_trace_file(const Trace& trace, const std::string& path) {
+  auto out = open_out(path, std::ios::out | std::ios::binary);
+  write_binary_trace(trace, out);
+}
+
+}  // namespace lfo::trace

@@ -1,0 +1,29 @@
+#ifndef LFO_TRACE_IO_HPP
+#define LFO_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace lfo::trace {
+
+/// Text format: one request per line, "object_id size [cost]", '#' comments.
+/// This matches the webcachesim/optimalwebcaching trace convention (minus
+/// the timestamp column, which that code ignores for OPT anyway).
+Trace read_text_trace(std::istream& in);
+Trace read_text_trace_file(const std::string& path);
+void write_text_trace(const Trace& trace, std::ostream& out);
+void write_text_trace_file(const Trace& trace, const std::string& path);
+
+/// Compact binary format (magic + version header, little-endian fixed-width
+/// records). Roughly 5x faster to load than text for multi-million-request
+/// traces.
+Trace read_binary_trace(std::istream& in);
+Trace read_binary_trace_file(const std::string& path);
+void write_binary_trace(const Trace& trace, std::ostream& out);
+void write_binary_trace_file(const Trace& trace, const std::string& path);
+
+}  // namespace lfo::trace
+
+#endif  // LFO_TRACE_IO_HPP

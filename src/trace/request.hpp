@@ -1,0 +1,34 @@
+#ifndef LFO_TRACE_REQUEST_HPP
+#define LFO_TRACE_REQUEST_HPP
+
+#include <cstdint>
+
+namespace lfo::trace {
+
+/// Object identifier within a trace. Dense ids (0..N-1) are produced by the
+/// generators; traces loaded from disk are remapped to dense ids on load.
+using ObjectId = std::uint64_t;
+
+/// A single CDN request, matching the anonymized production-trace schema the
+/// paper uses: a sequence number (implicit: index in the trace), an object
+/// identifier, and the object size in bytes. We additionally carry the
+/// retrieval cost C_i of paper §2.1 (set from the cost model: size for BHR,
+/// 1 for OHR, or a measured latency).
+struct Request {
+  ObjectId object = 0;
+  std::uint64_t size = 0;  ///< object size in bytes
+  double cost = 0.0;       ///< retrieval cost C_i (miss penalty)
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// How to instantiate per-request retrieval costs (paper §2.1).
+enum class CostModel {
+  kByteHitRatio,    ///< cost = object size (optimizes BHR)
+  kObjectHitRatio,  ///< cost = 1 (optimizes OHR)
+  kLatency,         ///< cost = supplied latency value
+};
+
+}  // namespace lfo::trace
+
+#endif  // LFO_TRACE_REQUEST_HPP

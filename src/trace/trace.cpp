@@ -1,0 +1,123 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace lfo::trace {
+
+Trace::Trace(std::vector<Request> requests) : requests_(std::move(requests)) {}
+
+void Trace::push_back(const Request& r) { requests_.push_back(r); }
+
+void Trace::append(const Trace& other) {
+  requests_.insert(requests_.end(), other.requests_.begin(),
+                   other.requests_.end());
+}
+
+std::uint64_t Trace::num_objects() const {
+  std::uint64_t max_id = 0;
+  bool any = false;
+  for (const auto& r : requests_) {
+    max_id = std::max(max_id, r.object);
+    any = true;
+  }
+  return any ? max_id + 1 : 0;
+}
+
+std::uint64_t Trace::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& r : requests_) sum += r.size;
+  return sum;
+}
+
+std::uint64_t Trace::unique_bytes() const {
+  std::unordered_map<ObjectId, std::uint64_t> sizes;
+  sizes.reserve(requests_.size());
+  for (const auto& r : requests_) sizes.emplace(r.object, r.size);
+  std::uint64_t sum = 0;
+  for (const auto& [id, size] : sizes) sum += size;
+  return sum;
+}
+
+std::span<const Request> Trace::window(std::size_t begin,
+                                       std::size_t len) const {
+  if (begin >= requests_.size()) return {};
+  len = std::min(len, requests_.size() - begin);
+  return {requests_.data() + begin, len};
+}
+
+Trace Trace::slice(std::size_t begin, std::size_t len) const {
+  const auto w = window(begin, len);
+  return Trace(std::vector<Request>(w.begin(), w.end()));
+}
+
+void Trace::apply_cost_model(CostModel model) {
+  switch (model) {
+    case CostModel::kByteHitRatio:
+      for (auto& r : requests_) r.cost = static_cast<double>(r.size);
+      break;
+    case CostModel::kObjectHitRatio:
+      for (auto& r : requests_) r.cost = 1.0;
+      break;
+    case CostModel::kLatency:
+      break;  // costs supplied externally
+  }
+}
+
+std::vector<std::uint64_t> next_request_indices(
+    std::span<const Request> reqs) {
+  std::vector<std::uint64_t> next(reqs.size(), kNoNextRequest);
+  std::unordered_map<ObjectId, std::uint64_t> last_seen;
+  last_seen.reserve(reqs.size());
+  for (std::size_t i = reqs.size(); i-- > 0;) {
+    auto [it, inserted] = last_seen.try_emplace(reqs[i].object, i);
+    if (!inserted) {
+      next[i] = it->second;
+      it->second = i;
+    }
+  }
+  return next;
+}
+
+std::vector<std::uint64_t> prev_request_indices(
+    std::span<const Request> reqs) {
+  std::vector<std::uint64_t> prev(reqs.size(), kNoNextRequest);
+  std::unordered_map<ObjectId, std::uint64_t> last_seen;
+  last_seen.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    auto [it, inserted] = last_seen.try_emplace(reqs[i].object, i);
+    if (!inserted) {
+      prev[i] = it->second;
+      it->second = i;
+    }
+  }
+  return prev;
+}
+
+std::uint64_t densify_object_ids(std::vector<Request>& requests) {
+  std::unordered_map<ObjectId, ObjectId> remap;
+  remap.reserve(requests.size());
+  ObjectId next_id = 0;
+  for (auto& r : requests) {
+    auto [it, inserted] = remap.try_emplace(r.object, next_id);
+    if (inserted) ++next_id;
+    r.object = it->second;
+  }
+  return next_id;
+}
+
+bool validate_consistent_sizes(std::span<const Request> reqs,
+                               std::size_t* bad_index) {
+  std::unordered_map<ObjectId, std::uint64_t> sizes;
+  sizes.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    auto [it, inserted] = sizes.try_emplace(reqs[i].object, reqs[i].size);
+    if (!inserted && it->second != reqs[i].size) {
+      if (bad_index) *bad_index = i;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lfo::trace

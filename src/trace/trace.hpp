@@ -1,0 +1,81 @@
+#ifndef LFO_TRACE_TRACE_HPP
+#define LFO_TRACE_TRACE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "trace/request.hpp"
+
+namespace lfo::trace {
+
+/// Sentinel for "object is never requested again".
+inline constexpr std::uint64_t kNoNextRequest =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// A request trace: an ordered sequence of requests plus derived metadata.
+///
+/// The trace owns the request vector; views into windows (paper Fig 2's
+/// W[t]) are handed out as std::span so the windowed LFO pipeline never
+/// copies requests.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Request> requests);
+
+  std::size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+  const Request& operator[](std::size_t i) const { return requests_[i]; }
+  const std::vector<Request>& requests() const { return requests_; }
+
+  void push_back(const Request& r);
+  void append(const Trace& other);
+
+  /// Number of distinct objects (max object id + 1 for dense ids).
+  std::uint64_t num_objects() const;
+
+  /// Sum of request sizes (bytes moved if nothing were cached).
+  std::uint64_t total_bytes() const;
+
+  /// Sum of distinct object sizes (the footprint a cache would need to hold
+  /// everything at once, ignoring temporal locality).
+  std::uint64_t unique_bytes() const;
+
+  /// Window [begin, begin+len) clamped to the trace end.
+  std::span<const Request> window(std::size_t begin, std::size_t len) const;
+
+  /// Copy a window into a standalone trace (used to evaluate trace subsets,
+  /// paper Fig 5b/5c).
+  Trace slice(std::size_t begin, std::size_t len) const;
+
+  /// Apply a cost model in place (paper §2.1): kByteHitRatio sets
+  /// cost = size, kObjectHitRatio sets cost = 1. kLatency leaves existing
+  /// costs untouched.
+  void apply_cost_model(CostModel model);
+
+ private:
+  std::vector<Request> requests_;
+};
+
+/// For each request index i, the index of the next request to the same
+/// object, or kNoNextRequest. O(n) single backward pass.
+std::vector<std::uint64_t> next_request_indices(std::span<const Request> reqs);
+
+/// For each request index i, the index of the previous request to the same
+/// object, or kNoNextRequest if this is the first occurrence.
+std::vector<std::uint64_t> prev_request_indices(std::span<const Request> reqs);
+
+/// Remap arbitrary object ids in `requests` to dense 0..N-1 ids (stable by
+/// first appearance). Returns the number of distinct objects.
+std::uint64_t densify_object_ids(std::vector<Request>& requests);
+
+/// Validation: every request of an object carries the same size.
+/// Returns false (and the offending index) on the first inconsistency.
+bool validate_consistent_sizes(std::span<const Request> reqs,
+                               std::size_t* bad_index = nullptr);
+
+}  // namespace lfo::trace
+
+#endif  // LFO_TRACE_TRACE_HPP

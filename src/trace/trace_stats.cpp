@@ -1,0 +1,70 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace lfo::trace {
+
+TraceStats compute_stats(std::span<const Request> reqs) {
+  TraceStats s;
+  s.num_requests = reqs.size();
+  if (reqs.empty()) return s;
+
+  std::unordered_map<ObjectId, std::uint64_t> counts;
+  std::unordered_map<ObjectId, std::uint64_t> sizes;
+  counts.reserve(reqs.size());
+  sizes.reserve(reqs.size());
+  s.min_size = reqs.front().size;
+  s.max_size = reqs.front().size;
+  for (const auto& r : reqs) {
+    ++counts[r.object];
+    sizes.emplace(r.object, r.size);
+    s.total_bytes += r.size;
+    s.min_size = std::min(s.min_size, r.size);
+    s.max_size = std::max(s.max_size, r.size);
+  }
+  s.num_objects = counts.size();
+  for (const auto& [id, size] : sizes) s.unique_bytes += size;
+  s.mean_size = static_cast<double>(s.total_bytes) /
+                static_cast<double>(s.num_requests);
+
+  std::uint64_t one_hit = 0;
+  for (const auto& [id, c] : counts) {
+    if (c == 1) ++one_hit;
+  }
+  s.one_hit_wonder_ratio =
+      static_cast<double>(one_hit) / static_cast<double>(s.num_objects);
+  s.mean_requests_per_object = static_cast<double>(s.num_requests) /
+                               static_cast<double>(s.num_objects);
+  s.infinite_cache_bhr =
+      1.0 - static_cast<double>(s.unique_bytes) /
+                static_cast<double>(s.total_bytes);
+  s.infinite_cache_ohr =
+      1.0 - static_cast<double>(s.num_objects) /
+                static_cast<double>(s.num_requests);
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceStats& s) {
+  os << "requests=" << util::with_thousands(s.num_requests)
+     << " objects=" << util::with_thousands(s.num_objects)
+     << " total=" << util::format_bytes(s.total_bytes)
+     << " unique=" << util::format_bytes(s.unique_bytes)
+     << " mean_size=" << util::format_bytes(static_cast<std::uint64_t>(s.mean_size))
+     << " one_hit_wonders=" << s.one_hit_wonder_ratio
+     << " inf_bhr=" << s.infinite_cache_bhr
+     << " inf_ohr=" << s.infinite_cache_ohr;
+  return os;
+}
+
+std::vector<std::uint64_t> request_counts(std::span<const Request> reqs) {
+  std::uint64_t max_id = 0;
+  for (const auto& r : reqs) max_id = std::max(max_id, r.object);
+  std::vector<std::uint64_t> counts(reqs.empty() ? 0 : max_id + 1, 0);
+  for (const auto& r : reqs) ++counts[r.object];
+  return counts;
+}
+
+}  // namespace lfo::trace

@@ -1,0 +1,45 @@
+#ifndef LFO_TRACE_TRACE_STATS_HPP
+#define LFO_TRACE_TRACE_STATS_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace lfo::trace {
+
+/// Summary statistics of a trace; printed by harnesses so every experiment
+/// records the workload it actually ran on.
+struct TraceStats {
+  std::uint64_t num_requests = 0;
+  std::uint64_t num_objects = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t unique_bytes = 0;
+  std::uint64_t min_size = 0;
+  std::uint64_t max_size = 0;
+  double mean_size = 0.0;
+  /// Fraction of objects requested exactly once ("one-hit wonders"); the
+  /// paper notes a large fraction of CDN objects receive < 5 requests.
+  double one_hit_wonder_ratio = 0.0;
+  double mean_requests_per_object = 0.0;
+  /// Byte hit ratio of an infinite cache = upper bound for any policy
+  /// (1 - unique/total on a byte basis, i.e. compulsory misses only).
+  double infinite_cache_bhr = 0.0;
+  double infinite_cache_ohr = 0.0;
+};
+
+TraceStats compute_stats(std::span<const Request> reqs);
+inline TraceStats compute_stats(const Trace& t) {
+  return compute_stats(std::span<const Request>(t.requests()));
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceStats& s);
+
+/// Per-object request counts, indexed by dense object id.
+std::vector<std::uint64_t> request_counts(std::span<const Request> reqs);
+
+}  // namespace lfo::trace
+
+#endif  // LFO_TRACE_TRACE_STATS_HPP

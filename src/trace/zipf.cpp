@@ -1,0 +1,35 @@
+#include "trace/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lfo::trace {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha) : alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (alpha < 0) throw std::invalid_argument("ZipfSampler: alpha must be >= 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf_[k] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (auto& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::uint64_t ZipfSampler::sample(util::Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::uint64_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace lfo::trace

@@ -1,0 +1,38 @@
+#ifndef LFO_TRACE_ZIPF_HPP
+#define LFO_TRACE_ZIPF_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lfo::trace {
+
+/// Samples ranks from a Zipf(alpha) distribution over {0, ..., n-1}:
+/// P(rank = k) proportional to 1 / (k+1)^alpha.
+///
+/// CDN object popularity is well modelled by Zipf with alpha in [0.7, 1.1]
+/// (Maggs & Sitaraman 2015; the AdaptSize and LHD papers use the same
+/// model). We precompute the CDF once (O(n)) and sample by binary search
+/// (O(log n)); catalogs up to tens of millions of objects are practical.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  std::uint64_t n() const { return static_cast<std::uint64_t>(cdf_.size()); }
+  double alpha() const { return alpha_; }
+
+  /// Draw a rank in [0, n).
+  std::uint64_t sample(util::Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  double pmf(std::uint64_t rank) const;
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace lfo::trace
+
+#endif  // LFO_TRACE_ZIPF_HPP

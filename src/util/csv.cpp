@@ -1,0 +1,68 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+namespace lfo::util {
+
+void CsvWriter::end_row() {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) *os_ << ',';
+    *os_ << escape(fields_[i]);
+  }
+  *os_ << '\n';
+  fields_.clear();
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& values) {
+  for (const auto& v : values) field(v);
+  end_row();
+}
+
+std::string CsvWriter::escape(std::string_view v) {
+  const bool needs_quotes =
+      v.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(v);
+  std::string out;
+  out.reserve(v.size() + 2);
+  out.push_back('"');
+  for (char c : v) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace lfo::util

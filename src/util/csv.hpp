@@ -1,0 +1,48 @@
+#ifndef LFO_UTIL_CSV_HPP
+#define LFO_UTIL_CSV_HPP
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfo::util {
+
+/// Minimal CSV emitter used by all experiment harnesses. Values containing a
+/// comma, quote, or newline are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream (e.g. std::cout).
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  void header(const std::vector<std::string>& columns) { row_strings(columns); }
+
+  /// Append one field to the current row (converted with operator<<).
+  template <typename T>
+  CsvWriter& field(const T& v) {
+    std::ostringstream tmp;
+    tmp << v;
+    fields_.push_back(tmp.str());
+    return *this;
+  }
+
+  /// Terminate the current row.
+  void end_row();
+
+  /// Convenience: emit a full row at once.
+  void row_strings(const std::vector<std::string>& values);
+
+ private:
+  static std::string escape(std::string_view v);
+
+  std::ostream* os_;
+  std::vector<std::string> fields_;
+};
+
+/// Parse one CSV line into fields (handles RFC 4180 quoting).
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+}  // namespace lfo::util
+
+#endif  // LFO_UTIL_CSV_HPP

@@ -1,0 +1,48 @@
+#ifndef LFO_UTIL_LOGGING_HPP
+#define LFO_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace lfo::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr with a level tag and monotonic timestamp.
+/// Thread-safe (single atomic write per line).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: log(LogLevel::kInfo, "trained ", n, " trees").
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) { log(LogLevel::kDebug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { log(LogLevel::kInfo, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { log(LogLevel::kWarn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { log(LogLevel::kError, args...); }
+
+}  // namespace lfo::util
+
+#endif  // LFO_UTIL_LOGGING_HPP

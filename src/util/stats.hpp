@@ -1,0 +1,104 @@
+#ifndef LFO_UTIL_STATS_HPP
+#define LFO_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lfo::util {
+
+/// Online mean/variance accumulator (Welford). O(1) space, numerically
+/// stable; used by every experiment harness to report series statistics.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples and answers percentile queries. Stores all samples;
+/// intended for experiment result series (thousands of points), not for
+/// per-request hot paths.
+class Percentiles {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;  // new sample invalidates any previous sort
+  }
+  std::size_t count() const { return xs_.size(); }
+
+  /// q in [0,1]; linear interpolation between order statistics.
+  /// Returns 0 when empty.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside clamp to the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Confusion-matrix accumulator for binary classifiers; reports the
+/// accuracy / false-positive / false-negative rates the paper plots (Fig 5).
+class BinaryConfusion {
+ public:
+  void add(bool predicted, bool actual);
+
+  std::uint64_t tp() const { return tp_; }
+  std::uint64_t tn() const { return tn_; }
+  std::uint64_t fp() const { return fp_; }
+  std::uint64_t fn() const { return fn_; }
+  std::uint64_t total() const { return tp_ + tn_ + fp_ + fn_; }
+
+  double accuracy() const;
+  /// Fraction of all samples that are false positives (paper Fig 5a plots
+  /// FP/FN as a share of requests, not of the negative/positive class).
+  double false_positive_share() const;
+  double false_negative_share() const;
+  /// Classic per-class rates, also exposed for completeness.
+  double false_positive_rate() const;  ///< fp / (fp + tn)
+  double false_negative_rate() const;  ///< fn / (fn + tp)
+  double precision() const;
+  double recall() const;
+
+ private:
+  std::uint64_t tp_ = 0, tn_ = 0, fp_ = 0, fn_ = 0;
+};
+
+}  // namespace lfo::util
+
+#endif  // LFO_UTIL_STATS_HPP

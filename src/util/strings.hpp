@@ -1,0 +1,31 @@
+#ifndef LFO_UTIL_STRINGS_HPP
+#define LFO_UTIL_STRINGS_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfo::util {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Strict integer / double parsing; nullopt on any trailing garbage.
+std::optional<std::int64_t> parse_int(std::string_view s);
+std::optional<std::uint64_t> parse_uint(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+
+/// "12345678" -> "12,345,678" (for human-readable harness output).
+std::string with_thousands(std::uint64_t v);
+
+/// Bytes -> "1.50 GiB"-style string.
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace lfo::util
+
+#endif  // LFO_UTIL_STRINGS_HPP

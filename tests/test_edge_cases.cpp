@@ -1,0 +1,213 @@
+// Edge cases and failure-injection across module boundaries: empty and
+// single-request traces, exactly-fitting objects, file-based I/O paths,
+// and miscellaneous behaviours that only bite in production.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "cache/factory.hpp"
+#include "cache/gd_wheel.hpp"
+#include "cache/greedy_dual.hpp"
+#include "cache/lru.hpp"
+#include "core/lfo_model.hpp"
+#include "core/windowed.hpp"
+#include "opt/opt.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+
+namespace lfo {
+namespace {
+
+using trace::Request;
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lfo_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+TEST(EmptyTrace, OptOnEmptyWindowIsEmpty) {
+  opt::OptConfig config;
+  config.cache_size = 1024;
+  const auto d = opt::compute_opt({}, config);
+  EXPECT_EQ(d.total_requests, 0u);
+  EXPECT_EQ(d.hit_requests, 0u);
+  EXPECT_DOUBLE_EQ(d.bhr, 0.0);
+}
+
+TEST(EmptyTrace, SingleRequestHasNoIntervals) {
+  const std::vector<Request> reqs{{0, 100, 100.0}};
+  opt::OptConfig config;
+  config.cache_size = 1024;
+  for (const auto mode :
+       {opt::OptMode::kExactMcf, opt::OptMode::kGreedyPacking}) {
+    config.mode = mode;
+    const auto d = opt::compute_opt(reqs, config);
+    EXPECT_EQ(d.num_intervals, 0u);
+    EXPECT_EQ(d.hit_requests, 0u);
+  }
+}
+
+TEST(ExactFit, ObjectEqualToCapacityIsAdmitted) {
+  cache::LruCache cache(100);
+  cache.access({1, 100, 100.0});
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.free_bytes(), 0u);
+  // The next object displaces it entirely.
+  cache.access({2, 100, 100.0});
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(ExactFit, OptWithObjectLargerThanCache) {
+  // Interval of a 10-byte object with a 5-byte cache: can never be cached.
+  const std::vector<Request> reqs{{0, 10, 10.0}, {0, 10, 10.0}};
+  opt::OptConfig config;
+  config.cache_size = 5;
+  for (const auto mode :
+       {opt::OptMode::kExactMcf, opt::OptMode::kGreedyPacking}) {
+    config.mode = mode;
+    const auto d = opt::compute_opt(reqs, config);
+    EXPECT_EQ(d.hit_requests, 0u) << opt::to_string(mode);
+  }
+}
+
+TEST(StatsReset, SurvivesAndResets) {
+  cache::LruCache cache(16);
+  cache.access({1, 4, 4.0});
+  cache.access({1, 4, 4.0});
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().requests, 0u);
+  EXPECT_TRUE(cache.contains(1));  // contents untouched
+}
+
+TEST(GdWheelEdge, TinyCostsAndHugeCosts) {
+  cache::GdWheelCache cache(1 << 10);
+  // Mixed magnitudes exercise wheel level selection and migration.
+  cache.access({1, 8, 0.001});
+  cache.access({2, 8, 1e9});
+  cache.access({3, 8, 50.0});
+  EXPECT_LE(cache.used_bytes(), cache.capacity());
+  for (trace::ObjectId o = 10; o < 400; ++o) {
+    cache.access({o, 8, static_cast<double>(o % 97) + 0.5});
+  }
+  EXPECT_LE(cache.used_bytes(), cache.capacity());
+  EXPECT_GT(cache.stats().requests, 0u);
+}
+
+TEST(WindowedEdge, WindowLargerThanTrace) {
+  const auto t = trace::generate_zipf_trace(3000, 200, 1.0, 120);
+  core::WindowedConfig config;
+  config.lfo.set_cache_size(t.unique_bytes() / 4);
+  config.lfo.gbdt.num_iterations = 5;
+  config.lfo.features.num_gaps = 4;
+  config.window_size = 100000;  // bigger than the trace
+  const auto result = core::run_windowed_lfo(t, config);
+  ASSERT_EQ(result.windows.size(), 1u);
+  EXPECT_EQ(result.windows[0].length, t.size());
+  EXPECT_EQ(result.overall.requests, t.size());
+}
+
+TEST(WindowedEdge, TinyWindowsStillRun) {
+  const auto t = trace::generate_zipf_trace(600, 50, 1.0, 121);
+  core::WindowedConfig config;
+  config.lfo.set_cache_size(t.unique_bytes() / 4);
+  config.lfo.gbdt.num_iterations = 3;
+  config.lfo.gbdt.min_data_in_leaf = 5;
+  config.lfo.features.num_gaps = 2;
+  config.window_size = 100;
+  const auto result = core::run_windowed_lfo(t, config);
+  EXPECT_EQ(result.windows.size(), 6u);
+  EXPECT_EQ(result.overall.requests, t.size());
+}
+
+TEST_F(TempDir, TextTraceFileRoundTrip) {
+  const auto t = trace::generate_zipf_trace(300, 40, 0.9, 122);
+  const auto file = path("trace.txt");
+  trace::write_text_trace_file(t, file);
+  const auto back = trace::read_text_trace_file(file);
+  EXPECT_EQ(back.size(), t.size());
+  EXPECT_EQ(back.total_bytes(), t.total_bytes());
+}
+
+TEST_F(TempDir, BinaryTraceFileRoundTrip) {
+  const auto t = trace::generate_zipf_trace(300, 40, 0.9, 123);
+  const auto file = path("trace.bin");
+  trace::write_binary_trace_file(t, file);
+  const auto back = trace::read_binary_trace_file(file);
+  EXPECT_EQ(back.requests(), t.requests());
+}
+
+TEST_F(TempDir, MissingFileThrows) {
+  EXPECT_THROW(trace::read_text_trace_file(path("nope.txt")),
+               std::runtime_error);
+  EXPECT_THROW(trace::read_binary_trace_file(path("nope.bin")),
+               std::runtime_error);
+}
+
+TEST_F(TempDir, LfoModelFileRoundTrip) {
+  const auto t = trace::generate_zipf_trace(4000, 200, 1.0, 124);
+  core::LfoConfig config;
+  config.set_cache_size(t.unique_bytes() / 4);
+  config.features.num_gaps = 5;
+  config.gbdt.num_iterations = 5;
+  const auto trained = core::train_on_window(
+      std::span<const Request>(t.requests()), config);
+  const auto file = path("model.lfo");
+  trained.model->save_file(file);
+  const auto back = core::LfoModel::load_file(file);
+  EXPECT_EQ(back.dimension(), trained.model->dimension());
+}
+
+TEST(FactoryEdge, BadParameterizedNamesRejected) {
+  EXPECT_THROW(cache::make_policy("LRU-", 1024), std::invalid_argument);
+  EXPECT_THROW(cache::make_policy("LRU-x", 1024), std::invalid_argument);
+  EXPECT_THROW(cache::make_policy("SxLRU", 1024), std::invalid_argument);
+  EXPECT_THROW(cache::make_policy("", 1024), std::invalid_argument);
+}
+
+TEST(CostEdge, ZeroCostObjectsDoNotBreakGreedyDual) {
+  cache::GreedyDualCache cache(64, cache::GreedyDualVariant::kGdsf);
+  for (trace::ObjectId o = 0; o < 50; ++o) {
+    cache.access({o, 4, 0.0});  // zero retrieval cost
+  }
+  EXPECT_LE(cache.used_bytes(), cache.capacity());
+}
+
+TEST(OptEdge, AllSameObject) {
+  std::vector<Request> reqs(50, Request{7, 16, 16.0});
+  opt::OptConfig config;
+  config.cache_size = 16;
+  config.mode = opt::OptMode::kExactMcf;
+  const auto d = opt::compute_opt(reqs, config);
+  EXPECT_EQ(d.hit_requests, 49u);  // everything after the compulsory miss
+  EXPECT_EQ(d.cached[49], 0);      // last request never cached
+}
+
+TEST(OptEdge, DensifiedIdsNotRequired) {
+  // compute_opt works with sparse (non-dense) object ids.
+  std::vector<Request> reqs{{1000000, 8, 8.0},
+                            {5, 4, 4.0},
+                            {1000000, 8, 8.0},
+                            {5, 4, 4.0}};
+  opt::OptConfig config;
+  config.cache_size = 64;
+  const auto d = opt::compute_opt(reqs, config);
+  EXPECT_EQ(d.hit_requests, 2u);
+}
+
+}  // namespace
+}  // namespace lfo

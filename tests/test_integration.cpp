@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "cache/factory.hpp"
+#include "opt/opt.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace lfo::sim {
+namespace {
+
+trace::Trace cdn_trace(std::uint64_t requests, std::uint64_t seed) {
+  trace::GeneratorConfig config;
+  config.num_requests = requests;
+  config.seed = seed;
+  config.classes = trace::production_mix(0.01);
+  return trace::generate_trace(config);
+}
+
+TEST(Simulate, PolicyResultMatchesStats) {
+  const auto t = trace::generate_zipf_trace(5000, 200, 0.9, 70);
+  auto lru = cache::make_policy("LRU", t.unique_bytes() / 4);
+  const auto result = simulate_policy(*lru, t);
+  EXPECT_EQ(result.name, "LRU");
+  EXPECT_EQ(result.requests, t.size());
+  EXPECT_DOUBLE_EQ(result.bhr, lru->stats().bhr());
+  EXPECT_GT(result.hits, 0u);
+}
+
+TEST(Simulate, InfiniteCacheAttainsCompulsoryBound) {
+  const auto t = cdn_trace(8000, 71);
+  const auto stats = trace::compute_stats(t);
+  auto inf = cache::make_policy("Infinite", 1);
+  const auto result = simulate_policy(*inf, t);
+  EXPECT_NEAR(result.bhr, stats.infinite_cache_bhr, 1e-12);
+  EXPECT_NEAR(result.ohr, stats.infinite_cache_ohr, 1e-12);
+}
+
+TEST(Simulate, NoOnlinePolicyBeatsInfiniteCache) {
+  const auto t = cdn_trace(10000, 72);
+  const auto stats = trace::compute_stats(t);
+  for (const auto& name : cache::policy_names()) {
+    auto policy = cache::make_policy(name, t.unique_bytes() / 8, 2);
+    const auto result = simulate_policy(*policy, t);
+    EXPECT_LE(result.bhr, stats.infinite_cache_bhr + 1e-12) << name;
+    EXPECT_LE(result.ohr, stats.infinite_cache_ohr + 1e-12) << name;
+  }
+}
+
+TEST(Simulate, OptUpperBoundsOnlinePoliciesOnBytes) {
+  const auto t = trace::generate_zipf_trace(6000, 250, 1.0, 73);
+  const std::uint64_t cache_size = t.unique_bytes() / 6;
+  opt::OptConfig oc;
+  oc.cache_size = cache_size;
+  oc.mode = opt::OptMode::kExactMcf;
+  const auto opt_result =
+      opt::compute_opt(std::span<const trace::Request>(t.requests()), oc);
+  for (const auto& name : {"LRU", "LFUDA", "S4LRU", "GDSF", "LHD"}) {
+    auto policy = cache::make_policy(name, cache_size, 3);
+    const auto r = simulate_policy(*policy, t);
+    EXPECT_LE(r.bhr, opt_result.bhr_upper + 0.01) << name;
+  }
+}
+
+TEST(Simulate, LargerCacheNeverHurtsLru) {
+  const auto t = cdn_trace(10000, 74);
+  double last_bhr = -1.0;
+  for (const auto divisor : {32, 16, 8, 4, 2}) {
+    auto lru = cache::make_policy("LRU", t.unique_bytes() / divisor);
+    const auto r = simulate_policy(*lru, t);
+    EXPECT_GE(r.bhr, last_bhr - 1e-12) << "divisor " << divisor;
+    last_bhr = r.bhr;
+  }
+}
+
+TEST(Comparison, Fig6LineupRunsAndIsOrdered) {
+  const auto t = trace::generate_zipf_trace(24000, 800, 1.0, 75);
+  ComparisonConfig config;
+  config.cache_size = t.unique_bytes() / 6;
+  config.policies = {"LRU", "S4LRU", "GDSF"};
+  config.include_lfo = true;
+  config.lfo.window_size = 6000;
+  config.lfo.lfo.opt.mode = opt::OptMode::kGreedyPacking;
+  config.lfo.lfo.gbdt.num_iterations = 15;
+  config.lfo.lfo.features.num_gaps = 10;
+  config.include_opt = true;
+  config.opt.mode = opt::OptMode::kGreedyPacking;
+  const auto results = run_comparison(t, config);
+  ASSERT_EQ(results.size(), 5u);
+  // Sorted by descending BHR.
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].bhr, results[i].bhr);
+  }
+  // OPT leads the board.
+  EXPECT_EQ(results.front().name, "OPT");
+  // LFO must beat plain LRU on this highly learnable workload.
+  const auto find = [&](const std::string& name) {
+    return std::find_if(results.begin(), results.end(),
+                        [&](const auto& r) { return r.name == name; });
+  };
+  EXPECT_GT(find("LFO")->bhr, find("LRU")->bhr);
+}
+
+TEST(Comparison, PrintProducesTable) {
+  std::vector<PolicyResult> results{{"LRU", 0.5, 0.6, 100, 200, 0.01},
+                                    {"OPT", 0.8, 0.9, 180, 200, 0.02}};
+  std::ostringstream os;
+  print_comparison(os, results);
+  const auto text = os.str();
+  EXPECT_NE(text.find("LRU"), std::string::npos);
+  EXPECT_NE(text.find("OPT"), std::string::npos);
+  EXPECT_NE(text.find("0.5"), std::string::npos);
+}
+
+TEST(Fig6Policies, AreAllConstructible) {
+  for (const auto& name : fig6_policies()) {
+    EXPECT_NO_THROW(cache::make_policy(name, 1 << 20)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace lfo::sim

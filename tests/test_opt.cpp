@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "opt/belady.hpp"
+#include "opt/flow_builder.hpp"
+#include "opt/opt.hpp"
+#include "opt/segment_tree.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace lfo::opt {
+namespace {
+
+using trace::Request;
+
+std::vector<Request> make_requests(
+    const std::vector<std::pair<trace::ObjectId, std::uint64_t>>& seq) {
+  std::vector<Request> reqs;
+  for (const auto& [obj, size] : seq) {
+    reqs.push_back({obj, size, static_cast<double>(size)});  // BHR costs
+  }
+  return reqs;
+}
+
+/// The paper's Fig 3 running example: objects a=0 (size 3), b=1 (1),
+/// c=2 (1), d=3 (2); trace a b c b d a c d a b b a.
+std::vector<Request> fig3_trace() {
+  return make_requests({{0, 3}, {1, 1}, {2, 1}, {1, 1}, {3, 2}, {0, 3},
+                        {2, 1}, {3, 2}, {0, 3}, {1, 1}, {1, 1}, {0, 3}});
+}
+
+/// Max bytes simultaneously cached under the decision schedule; must never
+/// exceed the cache size (schedule feasibility).
+std::uint64_t peak_occupancy(std::span<const Request> reqs,
+                             const OptDecisions& d) {
+  const auto next = trace::next_request_indices(reqs);
+  std::vector<std::int64_t> delta(reqs.size() + 1, 0);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (d.cached[i]) {
+      EXPECT_NE(next[i], trace::kNoNextRequest)
+          << "cached decision on an object's last request";
+      delta[i] += static_cast<std::int64_t>(reqs[i].size);
+      delta[next[i]] -= static_cast<std::int64_t>(reqs[i].size);
+    }
+  }
+  std::int64_t occ = 0, peak = 0;
+  for (const auto d_ : delta) {
+    occ += d_;
+    peak = std::max(peak, occ);
+  }
+  return static_cast<std::uint64_t>(peak);
+}
+
+TEST(Intervals, BuildsConsecutivePairs) {
+  const auto reqs = fig3_trace();
+  const auto ivs = build_intervals(reqs);
+  // a: 3 intervals, b: 3, c: 1, d: 1 => 8 total.
+  EXPECT_EQ(ivs.size(), 8u);
+  for (const auto& iv : ivs) {
+    EXPECT_LT(iv.start, iv.end);
+    EXPECT_EQ(reqs[iv.start].object, reqs[iv.end].object);
+  }
+}
+
+TEST(IntervalRank, MatchesPaperFormula) {
+  Interval iv{10, 20, 4, 8.0};  // L = 10, S = 4, C = 8
+  EXPECT_DOUBLE_EQ(interval_rank(iv), 8.0 / (4.0 * 10.0));
+}
+
+TEST(ExactOpt, TwoObjectContention) {
+  // x y x y with unit sizes and cache 1: the two caching intervals overlap
+  // at one central edge, so OPT caches exactly one.
+  const auto reqs = make_requests({{0, 1}, {1, 1}, {0, 1}, {1, 1}});
+  OptConfig config;
+  config.cache_size = 1;
+  config.mode = OptMode::kExactMcf;
+  const auto d = compute_opt(reqs, config);
+  EXPECT_EQ(d.hit_requests, 1u);
+  EXPECT_LE(peak_occupancy(reqs, d), 1u);
+}
+
+TEST(ExactOpt, NoContentionCachesEverything) {
+  const auto reqs = make_requests({{0, 1}, {1, 1}, {0, 1}, {1, 1}});
+  OptConfig config;
+  config.cache_size = 2;
+  config.mode = OptMode::kExactMcf;
+  const auto d = compute_opt(reqs, config);
+  EXPECT_EQ(d.hit_requests, 2u);
+}
+
+TEST(ExactOpt, Fig3WithLargeCache) {
+  const auto reqs = fig3_trace();
+  OptConfig config;
+  config.cache_size = 64;  // everything fits
+  config.mode = OptMode::kExactMcf;
+  const auto d = compute_opt(reqs, config);
+  EXPECT_EQ(d.hit_requests, 8u);   // every interval cached
+  EXPECT_EQ(d.hit_bytes, 15u);     // 3*3 + 3*1 + 1 + 2
+  EXPECT_EQ(d.total_bytes, 22u);
+  EXPECT_DOUBLE_EQ(d.ohr, 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(d.bhr, 15.0 / 22.0);
+}
+
+TEST(ExactOpt, Fig3SmallCacheIsFeasibleAndNontrivial) {
+  const auto reqs = fig3_trace();
+  OptConfig config;
+  config.cache_size = 4;
+  config.mode = OptMode::kExactMcf;
+  const auto d = compute_opt(reqs, config);
+  EXPECT_LE(peak_occupancy(reqs, d), 4u);
+  EXPECT_GT(d.hit_requests, 0u);
+  EXPECT_LT(d.hit_requests, 8u);
+  // Fractional relaxation dominates the strict schedule.
+  EXPECT_GE(d.bhr_upper, d.bhr - 1e-12);
+  EXPECT_GE(d.ohr_upper, d.ohr - 1e-12);
+}
+
+TEST(ExactOpt, LastRequestsNeverCached) {
+  const auto reqs = fig3_trace();
+  OptConfig config;
+  config.cache_size = 64;
+  const auto d = compute_opt(reqs, config);
+  const auto next = trace::next_request_indices(reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (next[i] == trace::kNoNextRequest) {
+      EXPECT_EQ(d.cached[i], 0) << "at " << i;
+    }
+  }
+}
+
+TEST(RankSplit, FullFractionMatchesExact) {
+  const auto reqs = fig3_trace();
+  OptConfig exact;
+  exact.cache_size = 4;
+  exact.mode = OptMode::kExactMcf;
+  OptConfig split = exact;
+  split.mode = OptMode::kRankSplitMcf;
+  split.rank_keep_fraction = 1.0;
+  const auto de = compute_opt(reqs, exact);
+  const auto ds = compute_opt(reqs, split);
+  EXPECT_EQ(de.cached, ds.cached);
+}
+
+TEST(RankSplit, PartialFractionIsFeasibleLowerBound) {
+  const auto t = trace::generate_zipf_trace(3000, 200, 0.9, 7);
+  OptConfig exact;
+  exact.cache_size = t.unique_bytes() / 8;
+  exact.mode = OptMode::kExactMcf;
+  OptConfig split = exact;
+  split.mode = OptMode::kRankSplitMcf;
+  split.rank_keep_fraction = 0.5;
+  std::span<const Request> reqs(t.requests());
+  const auto de = compute_opt(reqs, exact);
+  const auto ds = compute_opt(reqs, split);
+  EXPECT_LE(peak_occupancy(reqs, ds), exact.cache_size);
+  // Rank-splitting solves a restricted problem: it can only lose.
+  EXPECT_LE(ds.bhr, de.bhr_upper + 1e-9);
+  // ...but it should capture most of the value (the paper's point).
+  EXPECT_GT(ds.bhr, 0.6 * de.bhr);
+}
+
+TEST(IntervalSplit, WholeTraceSegmentMatchesExact) {
+  const auto reqs = fig3_trace();
+  OptConfig exact;
+  exact.cache_size = 4;
+  exact.mode = OptMode::kExactMcf;
+  OptConfig split = exact;
+  split.mode = OptMode::kIntervalSplitMcf;
+  split.segment_length = reqs.size();
+  const auto de = compute_opt(reqs, exact);
+  const auto ds = compute_opt(reqs, split);
+  EXPECT_EQ(de.cached, ds.cached);
+}
+
+TEST(IntervalSplit, SegmentsAreConservative) {
+  const auto t = trace::generate_zipf_trace(2000, 100, 0.9, 3);
+  OptConfig exact;
+  exact.cache_size = t.unique_bytes() / 4;
+  exact.mode = OptMode::kExactMcf;
+  OptConfig split = exact;
+  split.mode = OptMode::kIntervalSplitMcf;
+  split.segment_length = 256;
+  std::span<const Request> reqs(t.requests());
+  const auto de = compute_opt(reqs, exact);
+  const auto ds = compute_opt(reqs, split);
+  EXPECT_LE(peak_occupancy(reqs, ds), exact.cache_size);
+  EXPECT_LE(ds.bhr, de.bhr_upper + 1e-9);
+}
+
+TEST(GreedyPacking, MatchesExactWithoutContention) {
+  const auto reqs = fig3_trace();
+  OptConfig config;
+  config.cache_size = 64;
+  config.mode = OptMode::kGreedyPacking;
+  const auto d = compute_opt(reqs, config);
+  EXPECT_EQ(d.hit_requests, 8u);
+}
+
+TEST(GreedyPacking, FeasibleAndNearExact) {
+  const auto t = trace::generate_zipf_trace(4000, 300, 1.0, 11);
+  OptConfig exact;
+  exact.cache_size = t.unique_bytes() / 6;
+  exact.mode = OptMode::kExactMcf;
+  OptConfig greedy = exact;
+  greedy.mode = OptMode::kGreedyPacking;
+  std::span<const Request> reqs(t.requests());
+  const auto de = compute_opt(reqs, exact);
+  const auto dg = compute_opt(reqs, greedy);
+  EXPECT_LE(peak_occupancy(reqs, dg), exact.cache_size);
+  EXPECT_LE(dg.bhr, de.bhr_upper + 1e-9);
+  EXPECT_GT(dg.bhr, 0.9 * de.bhr);  // greedy is known to be near-optimal
+}
+
+TEST(Belady, BoundedByFractionalOpt) {
+  const auto t = trace::generate_zipf_trace(3000, 150, 0.8, 5);
+  const std::uint64_t cache = t.unique_bytes() / 5;
+  std::span<const Request> reqs(t.requests());
+  OptConfig config;
+  config.cache_size = cache;
+  config.mode = OptMode::kExactMcf;
+  const auto d = compute_opt(reqs, config);
+  for (const auto variant : {BeladyVariant::kFarthestNextUse,
+                             BeladyVariant::kFarthestNextUseBytes}) {
+    const auto b = simulate_belady(reqs, cache, variant);
+    EXPECT_LE(b.bhr, d.bhr_upper + 0.01)
+        << "variant " << static_cast<int>(variant);
+  }
+}
+
+TEST(Belady, PerfectOnCyclicUnitTraceWithRoom) {
+  // Repeating pattern over 3 unit objects, cache 3: everything hits after
+  // the compulsory miss.
+  std::vector<Request> reqs;
+  for (int rep = 0; rep < 5; ++rep) {
+    for (trace::ObjectId o = 0; o < 3; ++o) reqs.push_back({o, 1, 1.0});
+  }
+  const auto b =
+      simulate_belady(reqs, 3, BeladyVariant::kFarthestNextUse);
+  EXPECT_EQ(b.hit_requests, 12u);  // 15 - 3 compulsory misses
+}
+
+TEST(OptConfigValidation, ZeroCacheThrows) {
+  const auto reqs = fig3_trace();
+  OptConfig config;
+  config.cache_size = 0;
+  EXPECT_THROW(compute_opt(reqs, config), std::invalid_argument);
+}
+
+TEST(SegmentTree, BruteForceEquivalence) {
+  util::Rng rng(42);
+  const std::size_t n = 64;
+  MinSegmentTree tree(n, 100);
+  std::vector<std::int64_t> ref(n, 100);
+  for (int op = 0; op < 2000; ++op) {
+    const auto lo = rng.uniform(n);
+    const auto hi = lo + 1 + rng.uniform(n - lo);
+    if (rng.bernoulli(0.5)) {
+      const auto delta = static_cast<std::int64_t>(rng.uniform(21)) - 10;
+      tree.range_add(lo, hi, delta);
+      for (auto i = lo; i < hi; ++i) ref[i] += delta;
+    } else {
+      const auto expect = *std::min_element(ref.begin() + lo, ref.begin() + hi);
+      EXPECT_EQ(tree.range_min(lo, hi), expect);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(tree.at(i), ref[i]);
+}
+
+TEST(SegmentTree, RejectsBadRanges) {
+  MinSegmentTree tree(8, 0);
+  EXPECT_THROW(tree.range_min(3, 3), std::out_of_range);
+  EXPECT_THROW(tree.range_add(0, 9, 1), std::out_of_range);
+  EXPECT_THROW(MinSegmentTree(0, 0), std::invalid_argument);
+}
+
+/// Property: on random small traces, all OPT modes produce feasible
+/// schedules bounded by the exact fractional optimum.
+class OptModesProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptModesProperty, AllModesFeasibleAndBounded) {
+  const auto t = trace::generate_zipf_trace(600, 60, 0.9, GetParam());
+  const std::uint64_t cache = std::max<std::uint64_t>(1, t.unique_bytes() / 4);
+  std::span<const Request> reqs(t.requests());
+  OptConfig exact;
+  exact.cache_size = cache;
+  exact.mode = OptMode::kExactMcf;
+  const auto de = compute_opt(reqs, exact);
+  EXPECT_LE(peak_occupancy(reqs, de), cache);
+  for (const auto mode : {OptMode::kRankSplitMcf, OptMode::kIntervalSplitMcf,
+                          OptMode::kGreedyPacking}) {
+    OptConfig c = exact;
+    c.mode = mode;
+    c.segment_length = 128;
+    c.rank_keep_fraction = 0.5;
+    const auto d = compute_opt(reqs, c);
+    EXPECT_LE(peak_occupancy(reqs, d), cache) << to_string(mode);
+    // All modes optimize byte-miss cost here, so only the BHR is ordered
+    // relative to the exact fractional optimum.
+    EXPECT_LE(d.bhr, de.bhr_upper + 1e-9) << to_string(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, OptModesProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace lfo::opt

@@ -1,0 +1,109 @@
+// Cross-policy property tests: invariants every cache policy must hold,
+// swept over the whole factory zoo (parameterized gtest).
+
+#include <gtest/gtest.h>
+
+#include "cache/factory.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace lfo::cache {
+namespace {
+
+trace::Trace property_trace(std::uint64_t seed) {
+  trace::GeneratorConfig config;
+  config.num_requests = 6000;
+  config.seed = seed;
+  config.classes = trace::production_mix(0.005);
+  config.drift.reshuffle_interval = 2000;
+  config.drift.reshuffle_fraction = 0.2;
+  return trace::generate_trace(config);
+}
+
+class PolicyProperties : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr std::uint64_t kSeed = 140;
+};
+
+TEST_P(PolicyProperties, DeterministicGivenSeed) {
+  const auto t = property_trace(kSeed);
+  const auto cache_size = t.unique_bytes() / 8;
+  auto a = make_policy(GetParam(), cache_size, 7);
+  auto b = make_policy(GetParam(), cache_size, 7);
+  for (const auto& r : t.requests()) {
+    ASSERT_EQ(a->access(r), b->access(r)) << GetParam();
+  }
+  EXPECT_EQ(a->stats().hits, b->stats().hits);
+  EXPECT_EQ(a->used_bytes(), b->used_bytes());
+}
+
+TEST_P(PolicyProperties, StatsAreInternallyConsistent) {
+  const auto t = property_trace(kSeed + 1);
+  auto policy = make_policy(GetParam(), t.unique_bytes() / 8, 3);
+  for (const auto& r : t.requests()) policy->access(r);
+  const auto& s = policy->stats();
+  EXPECT_EQ(s.requests, t.size());
+  EXPECT_LE(s.hits, s.requests);
+  EXPECT_LE(s.bytes_hit, s.bytes_requested);
+  EXPECT_EQ(s.bytes_requested, t.total_bytes());
+  EXPECT_GE(s.bhr(), 0.0);
+  EXPECT_LE(s.bhr(), 1.0);
+}
+
+TEST_P(PolicyProperties, AccessReturnsContainsBeforehand) {
+  const auto t = property_trace(kSeed + 2);
+  auto policy = make_policy(GetParam(), t.unique_bytes() / 8, 5);
+  for (const auto& r : t.requests()) {
+    const bool resident = policy->contains(r.object);
+    const bool hit = policy->access(r);
+    ASSERT_EQ(hit, resident) << GetParam();
+  }
+}
+
+TEST_P(PolicyProperties, SingleHotObjectAlwaysHitsAfterWarmup) {
+  auto policy = make_policy(GetParam(), 1 << 20, 1);
+  const trace::Request hot{1, 4096, 4096.0};
+  // Depending on the admission policy the first few accesses may bypass
+  // (SecondHit, TinyLFU, RLC explore); after a handful of accesses a
+  // single repeatedly requested object that fits must be resident.
+  for (int i = 0; i < 10; ++i) policy->access(hot);
+  EXPECT_TRUE(policy->access(hot)) << GetParam();
+}
+
+TEST_P(PolicyProperties, NoResidencyForOversizedObjects) {
+  auto policy = make_policy(GetParam(), 1024, 1);
+  const trace::Request huge{1, 10000, 10000.0};
+  policy->access(huge);
+  policy->access(huge);
+  EXPECT_LE(policy->used_bytes(), policy->capacity()) << GetParam();
+}
+
+TEST_P(PolicyProperties, ClearThenReuseWorks) {
+  const auto t = property_trace(kSeed + 3);
+  auto policy = make_policy(GetParam(), t.unique_bytes() / 8, 9);
+  for (const auto& r : t.window(0, 2000)) policy->access(r);
+  policy->clear();
+  EXPECT_EQ(policy->used_bytes(), 0u);
+  for (const auto& r : t.window(2000, 2000)) {
+    policy->access(r);
+    ASSERT_LE(policy->used_bytes(), policy->capacity()) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PolicyProperties, ::testing::ValuesIn([] {
+                           auto names = policy_names();
+                           std::erase(names, std::string("Infinite"));
+                           return names;
+                         }()));
+
+// Infinite is special-cased: it ignores capacity by design.
+TEST(InfinitePolicy, MatchesCompulsoryBound) {
+  const auto t = property_trace(150);
+  auto policy = make_policy("Infinite", 1, 1);
+  for (const auto& r : t.requests()) policy->access(r);
+  const auto stats = trace::compute_stats(t);
+  EXPECT_NEAR(policy->stats().bhr(), stats.infinite_cache_bhr, 1e-12);
+}
+
+}  // namespace
+}  // namespace lfo::cache

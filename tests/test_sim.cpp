@@ -1,0 +1,159 @@
+// Tests for the sweep framework, windowed swap-lag semantics, and the
+// retraining-under-drift behaviour that motivates the whole windowed
+// design.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "core/windowed.hpp"
+#include "sim/sweep.hpp"
+#include "trace/generator.hpp"
+
+namespace lfo {
+namespace {
+
+TEST(Sweep, ProducesAllRequestedPoints) {
+  const auto t = trace::generate_zipf_trace(5000, 300, 0.9, 101);
+  sim::SweepConfig config;
+  config.policies = {"LRU", "GDSF"};
+  config.cache_fractions = {0.05, 0.2};
+  config.include_opt = true;
+  const auto points = sim::sweep_hit_ratio_curves(t, config);
+  ASSERT_EQ(points.size(), 2u * 3u);  // 2 sizes x (2 policies + OPT)
+  for (const auto& p : points) {
+    EXPECT_GE(p.bhr, 0.0);
+    EXPECT_LE(p.bhr, 1.0);
+    EXPECT_GT(p.cache_size, 0u);
+  }
+}
+
+TEST(Sweep, CurvesAreMonotoneInCacheSize) {
+  const auto t = trace::generate_zipf_trace(8000, 400, 0.9, 102);
+  sim::SweepConfig config;
+  config.policies = {"LRU"};
+  config.cache_fractions = {0.02, 0.05, 0.1, 0.3};
+  config.include_opt = true;
+  const auto points = sim::sweep_hit_ratio_curves(t, config);
+  std::map<std::string, double> last;
+  for (const auto& p : points) {  // points ordered by fraction, then policy
+    const auto it = last.find(p.policy);
+    if (it != last.end()) {
+      EXPECT_GE(p.bhr, it->second - 1e-9)
+          << p.policy << " at " << p.cache_fraction;
+    }
+    last[p.policy] = p.bhr;
+  }
+}
+
+TEST(Sweep, OptDominatesAtEveryPoint) {
+  const auto t = trace::generate_zipf_trace(6000, 300, 1.0, 103);
+  sim::SweepConfig config;
+  config.policies = {"LRU", "LFUDA", "GDSF"};
+  config.cache_fractions = {0.05, 0.15};
+  const auto points = sim::sweep_hit_ratio_curves(t, config);
+  std::map<double, double> opt_bhr;
+  for (const auto& p : points) {
+    if (p.policy == "OPT") opt_bhr[p.cache_fraction] = p.bhr;
+  }
+  for (const auto& p : points) {
+    if (p.policy == "OPT") continue;
+    EXPECT_LE(p.bhr, opt_bhr[p.cache_fraction] + 1e-9)
+        << p.policy << " at " << p.cache_fraction;
+  }
+}
+
+TEST(Sweep, CsvHasHeaderAndRows) {
+  std::vector<sim::HrcPoint> points{{"LRU", 1024, 0.1, 0.5, 0.6}};
+  std::ostringstream os;
+  sim::write_hrc_csv(os, points);
+  const auto text = os.str();
+  EXPECT_NE(text.find("policy,cache_fraction"), std::string::npos);
+  EXPECT_NE(text.find("LRU,0.1,1024,0.5,0.6"), std::string::npos);
+}
+
+core::WindowedConfig fast_windowed(std::uint64_t cache_size,
+                                   std::size_t window) {
+  core::WindowedConfig config;
+  config.lfo.set_cache_size(cache_size);
+  config.lfo.gbdt.num_iterations = 10;
+  config.lfo.features.num_gaps = 8;
+  config.window_size = window;
+  return config;
+}
+
+TEST(SwapLag, DelaysModelActivation) {
+  const auto t = trace::generate_zipf_trace(20000, 500, 1.0, 104);
+  auto lag0 = fast_windowed(t.unique_bytes() / 6, 4000);
+  auto lag2 = lag0;
+  lag2.swap_lag = 2;
+  const auto r0 = core::run_windowed_lfo(t, lag0);
+  const auto r2 = core::run_windowed_lfo(t, lag2);
+  // With lag 2, windows 1 and 2 are still served by the bootstrap
+  // (admit-all) policy, so no out-of-sample prediction error can be
+  // measured for them.
+  EXPECT_GE(r0.windows[1].prediction_error, 0.0);
+  EXPECT_LT(r2.windows[1].prediction_error, 0.0);
+  EXPECT_LT(r2.windows[2].prediction_error, 0.0);
+  EXPECT_GE(r2.windows[3].prediction_error, 0.0);
+}
+
+TEST(DriftAdaptation, PopularityReshuffleIsSurvivedByAFrozenModel) {
+  // Pure popularity reshuffles change *which* object is popular, not what
+  // the (shift-invariant) features mean — so a frozen model keeps working.
+  // This is the paper's §2.2 robustness argument for gap features.
+  trace::GeneratorConfig gen;
+  gen.num_requests = 60000;
+  gen.seed = 105;
+  trace::ContentClass cc;
+  cc.num_objects = 2000;
+  cc.zipf_alpha = 1.1;
+  cc.size_log_mean = std::log(4096.0);
+  cc.size_log_sigma = 1.5;
+  gen.classes = {cc};
+  gen.drift.reshuffle_interval = 10000;
+  gen.drift.reshuffle_fraction = 0.8;
+  const auto t = trace::generate_trace(gen);
+
+  auto retrain = fast_windowed(t.unique_bytes() / 8, 10000);
+  auto frozen = retrain;
+  frozen.retrain = false;
+  const auto r_retrain = core::run_windowed_lfo(t, retrain);
+  const auto r_frozen = core::run_windowed_lfo(t, frozen);
+  // Frozen stays within a few points of retrained.
+  EXPECT_GT(r_frozen.overall.bhr(), r_retrain.overall.bhr() - 0.05);
+}
+
+TEST(DriftAdaptation, RetrainingBeatsFrozenModelOnMixChange) {
+  // When the *content mix* changes (the multi-CDN traffic shifts of the
+  // paper's introduction), the feature->decision mapping itself changes:
+  // a model trained on a small-object photo mix systematically mishandles
+  // a large-object download mix. Continuous retraining must win here.
+  trace::GeneratorConfig photos;
+  photos.num_requests = 40000;
+  photos.seed = 106;
+  photos.classes = {trace::photo_class(3000)};
+  auto t = trace::generate_trace(photos);
+
+  trace::GeneratorConfig downloads;
+  downloads.num_requests = 40000;
+  downloads.seed = 107;
+  downloads.classes = {trace::download_class(64)};
+  const auto tail = trace::generate_trace(downloads);
+  const auto offset = t.num_objects();
+  for (const auto& r : tail.requests()) {
+    t.push_back({r.object + offset, r.size, r.cost});
+  }
+
+  auto retrain = fast_windowed(t.unique_bytes() / 10, 10000);
+  auto frozen = retrain;
+  frozen.retrain = false;
+  const auto r_retrain = core::run_windowed_lfo(t, retrain);
+  const auto r_frozen = core::run_windowed_lfo(t, frozen);
+  EXPECT_GT(r_retrain.overall.bhr(), r_frozen.overall.bhr());
+}
+
+}  // namespace
+}  // namespace lfo
