@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gaps.dir/bench_ablation_gaps.cpp.o"
+  "CMakeFiles/bench_ablation_gaps.dir/bench_ablation_gaps.cpp.o.d"
+  "bench_ablation_gaps"
+  "bench_ablation_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_lrb.dir/bench_extension_lrb.cpp.o"
+  "CMakeFiles/bench_extension_lrb.dir/bench_extension_lrb.cpp.o.d"
+  "bench_extension_lrb"
+  "bench_extension_lrb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_lrb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

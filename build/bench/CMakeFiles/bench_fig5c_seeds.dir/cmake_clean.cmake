@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_seeds.dir/bench_fig5c_seeds.cpp.o"
+  "CMakeFiles/bench_fig5c_seeds.dir/bench_fig5c_seeds.cpp.o.d"
+  "bench_fig5c_seeds"
+  "bench_fig5c_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bhr.dir/bench_fig6_bhr.cpp.o"
+  "CMakeFiles/bench_fig6_bhr.dir/bench_fig6_bhr.cpp.o.d"
+  "bench_fig6_bhr"
+  "bench_fig6_bhr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bhr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

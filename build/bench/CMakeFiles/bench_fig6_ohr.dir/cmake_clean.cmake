@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ohr.dir/bench_fig6_ohr.cpp.o"
+  "CMakeFiles/bench_fig6_ohr.dir/bench_fig6_ohr.cpp.o.d"
+  "bench_fig6_ohr"
+  "bench_fig6_ohr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ohr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

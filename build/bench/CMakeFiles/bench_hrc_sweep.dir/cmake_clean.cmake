@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hrc_sweep.dir/bench_hrc_sweep.cpp.o"
+  "CMakeFiles/bench_hrc_sweep.dir/bench_hrc_sweep.cpp.o.d"
+  "bench_hrc_sweep"
+  "bench_hrc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hrc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

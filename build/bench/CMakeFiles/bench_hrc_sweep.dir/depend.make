@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hrc_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfo_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/lfo_bench_common.dir/bench_common.cpp.o.d"
+  "liblfo_bench_common.a"
+  "liblfo_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfo_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblfo_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_server_simulation.dir/cdn_server_simulation.cpp.o"
+  "CMakeFiles/cdn_server_simulation.dir/cdn_server_simulation.cpp.o.d"
+  "cdn_server_simulation"
+  "cdn_server_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_server_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_hierarchy.dir/tiered_hierarchy.cpp.o"
+  "CMakeFiles/tiered_hierarchy.dir/tiered_hierarchy.cpp.o.d"
+  "tiered_hierarchy"
+  "tiered_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

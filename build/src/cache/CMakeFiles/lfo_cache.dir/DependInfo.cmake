@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/adaptsize.cpp" "src/cache/CMakeFiles/lfo_cache.dir/adaptsize.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/adaptsize.cpp.o.d"
+  "/root/repo/src/cache/arc.cpp" "src/cache/CMakeFiles/lfo_cache.dir/arc.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/arc.cpp.o.d"
+  "/root/repo/src/cache/bloom_admission.cpp" "src/cache/CMakeFiles/lfo_cache.dir/bloom_admission.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/bloom_admission.cpp.o.d"
+  "/root/repo/src/cache/factory.cpp" "src/cache/CMakeFiles/lfo_cache.dir/factory.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/factory.cpp.o.d"
+  "/root/repo/src/cache/gd_wheel.cpp" "src/cache/CMakeFiles/lfo_cache.dir/gd_wheel.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/gd_wheel.cpp.o.d"
+  "/root/repo/src/cache/greedy_dual.cpp" "src/cache/CMakeFiles/lfo_cache.dir/greedy_dual.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/greedy_dual.cpp.o.d"
+  "/root/repo/src/cache/hyperbolic.cpp" "src/cache/CMakeFiles/lfo_cache.dir/hyperbolic.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/hyperbolic.cpp.o.d"
+  "/root/repo/src/cache/lfuda.cpp" "src/cache/CMakeFiles/lfo_cache.dir/lfuda.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/lfuda.cpp.o.d"
+  "/root/repo/src/cache/lhd.cpp" "src/cache/CMakeFiles/lfo_cache.dir/lhd.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/lhd.cpp.o.d"
+  "/root/repo/src/cache/lru.cpp" "src/cache/CMakeFiles/lfo_cache.dir/lru.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/lru.cpp.o.d"
+  "/root/repo/src/cache/lru_k.cpp" "src/cache/CMakeFiles/lfo_cache.dir/lru_k.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/lru_k.cpp.o.d"
+  "/root/repo/src/cache/policy.cpp" "src/cache/CMakeFiles/lfo_cache.dir/policy.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/policy.cpp.o.d"
+  "/root/repo/src/cache/random_cache.cpp" "src/cache/CMakeFiles/lfo_cache.dir/random_cache.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/random_cache.cpp.o.d"
+  "/root/repo/src/cache/rl_cache.cpp" "src/cache/CMakeFiles/lfo_cache.dir/rl_cache.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/rl_cache.cpp.o.d"
+  "/root/repo/src/cache/s4lru.cpp" "src/cache/CMakeFiles/lfo_cache.dir/s4lru.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/s4lru.cpp.o.d"
+  "/root/repo/src/cache/tiered.cpp" "src/cache/CMakeFiles/lfo_cache.dir/tiered.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/tiered.cpp.o.d"
+  "/root/repo/src/cache/tinylfu.cpp" "src/cache/CMakeFiles/lfo_cache.dir/tinylfu.cpp.o" "gcc" "src/cache/CMakeFiles/lfo_cache.dir/tinylfu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lfo_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfo_core.dir/lfo_cache.cpp.o"
+  "CMakeFiles/lfo_core.dir/lfo_cache.cpp.o.d"
+  "CMakeFiles/lfo_core.dir/lfo_model.cpp.o"
+  "CMakeFiles/lfo_core.dir/lfo_model.cpp.o.d"
+  "CMakeFiles/lfo_core.dir/lrb_lite.cpp.o"
+  "CMakeFiles/lfo_core.dir/lrb_lite.cpp.o.d"
+  "CMakeFiles/lfo_core.dir/tuning.cpp.o"
+  "CMakeFiles/lfo_core.dir/tuning.cpp.o.d"
+  "CMakeFiles/lfo_core.dir/windowed.cpp.o"
+  "CMakeFiles/lfo_core.dir/windowed.cpp.o.d"
+  "liblfo_core.a"
+  "liblfo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

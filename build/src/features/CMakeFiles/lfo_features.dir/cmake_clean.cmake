@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfo_features.dir/dataset_builder.cpp.o"
+  "CMakeFiles/lfo_features.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/lfo_features.dir/features.cpp.o"
+  "CMakeFiles/lfo_features.dir/features.cpp.o.d"
+  "liblfo_features.a"
+  "liblfo_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfo_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

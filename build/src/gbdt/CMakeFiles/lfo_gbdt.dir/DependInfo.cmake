@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbdt/dataset.cpp" "src/gbdt/CMakeFiles/lfo_gbdt.dir/dataset.cpp.o" "gcc" "src/gbdt/CMakeFiles/lfo_gbdt.dir/dataset.cpp.o.d"
+  "/root/repo/src/gbdt/gbdt.cpp" "src/gbdt/CMakeFiles/lfo_gbdt.dir/gbdt.cpp.o" "gcc" "src/gbdt/CMakeFiles/lfo_gbdt.dir/gbdt.cpp.o.d"
+  "/root/repo/src/gbdt/tree.cpp" "src/gbdt/CMakeFiles/lfo_gbdt.dir/tree.cpp.o" "gcc" "src/gbdt/CMakeFiles/lfo_gbdt.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lfo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

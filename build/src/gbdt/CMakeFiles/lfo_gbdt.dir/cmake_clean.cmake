@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfo_gbdt.dir/dataset.cpp.o"
+  "CMakeFiles/lfo_gbdt.dir/dataset.cpp.o.d"
+  "CMakeFiles/lfo_gbdt.dir/gbdt.cpp.o"
+  "CMakeFiles/lfo_gbdt.dir/gbdt.cpp.o.d"
+  "CMakeFiles/lfo_gbdt.dir/tree.cpp.o"
+  "CMakeFiles/lfo_gbdt.dir/tree.cpp.o.d"
+  "liblfo_gbdt.a"
+  "liblfo_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfo_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

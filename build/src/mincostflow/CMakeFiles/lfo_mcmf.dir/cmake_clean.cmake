@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfo_mcmf.dir/graph.cpp.o"
+  "CMakeFiles/lfo_mcmf.dir/graph.cpp.o.d"
+  "CMakeFiles/lfo_mcmf.dir/solver.cpp.o"
+  "CMakeFiles/lfo_mcmf.dir/solver.cpp.o.d"
+  "liblfo_mcmf.a"
+  "liblfo_mcmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfo_mcmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfo_opt.dir/belady.cpp.o"
+  "CMakeFiles/lfo_opt.dir/belady.cpp.o.d"
+  "CMakeFiles/lfo_opt.dir/flow_builder.cpp.o"
+  "CMakeFiles/lfo_opt.dir/flow_builder.cpp.o.d"
+  "CMakeFiles/lfo_opt.dir/opt.cpp.o"
+  "CMakeFiles/lfo_opt.dir/opt.cpp.o.d"
+  "CMakeFiles/lfo_opt.dir/segment_tree.cpp.o"
+  "CMakeFiles/lfo_opt.dir/segment_tree.cpp.o.d"
+  "liblfo_opt.a"
+  "liblfo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

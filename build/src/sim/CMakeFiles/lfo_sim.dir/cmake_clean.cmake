@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfo_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lfo_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/lfo_sim.dir/sweep.cpp.o"
+  "CMakeFiles/lfo_sim.dir/sweep.cpp.o.d"
+  "liblfo_sim.a"
+  "liblfo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfo_trace.dir/generator.cpp.o"
+  "CMakeFiles/lfo_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/lfo_trace.dir/io.cpp.o"
+  "CMakeFiles/lfo_trace.dir/io.cpp.o.d"
+  "CMakeFiles/lfo_trace.dir/trace.cpp.o"
+  "CMakeFiles/lfo_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/lfo_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/lfo_trace.dir/trace_stats.cpp.o.d"
+  "CMakeFiles/lfo_trace.dir/zipf.cpp.o"
+  "CMakeFiles/lfo_trace.dir/zipf.cpp.o.d"
+  "liblfo_trace.a"
+  "liblfo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

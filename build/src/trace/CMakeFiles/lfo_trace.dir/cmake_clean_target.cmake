@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblfo_trace.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfo_util.dir/csv.cpp.o"
+  "CMakeFiles/lfo_util.dir/csv.cpp.o.d"
+  "CMakeFiles/lfo_util.dir/logging.cpp.o"
+  "CMakeFiles/lfo_util.dir/logging.cpp.o.d"
+  "CMakeFiles/lfo_util.dir/rng.cpp.o"
+  "CMakeFiles/lfo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lfo_util.dir/stats.cpp.o"
+  "CMakeFiles/lfo_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lfo_util.dir/strings.cpp.o"
+  "CMakeFiles/lfo_util.dir/strings.cpp.o.d"
+  "CMakeFiles/lfo_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lfo_util.dir/thread_pool.cpp.o.d"
+  "liblfo_util.a"
+  "liblfo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblfo_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arc.dir/test_arc.cpp.o"
+  "CMakeFiles/test_arc.dir/test_arc.cpp.o.d"
+  "test_arc"
+  "test_arc.pdb"
+  "test_arc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

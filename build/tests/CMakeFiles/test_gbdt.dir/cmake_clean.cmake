@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gbdt.dir/test_gbdt.cpp.o"
+  "CMakeFiles/test_gbdt.dir/test_gbdt.cpp.o.d"
+  "test_gbdt"
+  "test_gbdt.pdb"
+  "test_gbdt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

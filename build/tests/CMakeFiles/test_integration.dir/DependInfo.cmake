@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lfo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lfo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lfo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/lfo_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/lfo_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/lfo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mincostflow/CMakeFiles/lfo_mcmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lfo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lfo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

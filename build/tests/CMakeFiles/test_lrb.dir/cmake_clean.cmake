@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lrb.dir/test_lrb.cpp.o"
+  "CMakeFiles/test_lrb.dir/test_lrb.cpp.o.d"
+  "test_lrb"
+  "test_lrb.pdb"
+  "test_lrb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lrb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mincostflow.dir/test_mincostflow.cpp.o"
+  "CMakeFiles/test_mincostflow.dir/test_mincostflow.cpp.o.d"
+  "test_mincostflow"
+  "test_mincostflow.pdb"
+  "test_mincostflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mincostflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

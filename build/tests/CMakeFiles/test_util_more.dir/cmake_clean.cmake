@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_more.dir/test_util_more.cpp.o"
+  "CMakeFiles/test_util_more.dir/test_util_more.cpp.o.d"
+  "test_util_more"
+  "test_util_more.pdb"
+  "test_util_more[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
