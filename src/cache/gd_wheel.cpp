@@ -11,7 +11,7 @@ GdWheelCache::GdWheelCache(std::uint64_t capacity, double cost_per_unit)
 }
 
 bool GdWheelCache::contains(trace::ObjectId object) const {
-  return index_.count(object) != 0;
+  return index_.contains(object);
 }
 
 void GdWheelCache::clear() {

@@ -7,7 +7,7 @@ GreedyDualCache::GreedyDualCache(std::uint64_t capacity,
     : CachePolicy(capacity), variant_(variant) {}
 
 bool GreedyDualCache::contains(trace::ObjectId object) const {
-  return entries_.count(object) != 0;
+  return entries_.contains(object);
 }
 
 void GreedyDualCache::clear() {

@@ -13,7 +13,7 @@ HyperbolicCache::HyperbolicCache(std::uint64_t capacity,
       rng_(seed) {}
 
 bool HyperbolicCache::contains(trace::ObjectId object) const {
-  return index_.count(object) != 0;
+  return index_.contains(object);
 }
 
 void HyperbolicCache::clear() {

@@ -6,7 +6,7 @@ LfudaCache::LfudaCache(std::uint64_t capacity, bool aging)
     : CachePolicy(capacity), aging_(aging) {}
 
 bool LfudaCache::contains(trace::ObjectId object) const {
-  return entries_.count(object) != 0;
+  return entries_.contains(object);
 }
 
 void LfudaCache::clear() {

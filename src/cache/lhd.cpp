@@ -26,7 +26,7 @@ LhdCache::LhdCache(std::uint64_t capacity, std::uint32_t sample_size,
 }
 
 bool LhdCache::contains(trace::ObjectId object) const {
-  return index_.count(object) != 0;
+  return index_.contains(object);
 }
 
 void LhdCache::clear() {

@@ -5,7 +5,7 @@ namespace lfo::cache {
 LruCache::LruCache(std::uint64_t capacity) : CachePolicy(capacity) {}
 
 bool LruCache::contains(trace::ObjectId object) const {
-  return map_.count(object) != 0;
+  return map_.contains(object);
 }
 
 void LruCache::clear() {

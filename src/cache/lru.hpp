@@ -57,7 +57,7 @@ class InfiniteCache : public CachePolicy {
   explicit InfiniteCache(std::uint64_t capacity) : CachePolicy(capacity) {}
   std::string name() const override { return "Infinite"; }
   bool contains(trace::ObjectId object) const override {
-    return objects_.count(object) != 0;
+    return objects_.contains(object);
   }
   void clear() override { objects_.clear(); }
 

@@ -14,7 +14,7 @@ std::string LruKCache::name() const {
 }
 
 bool LruKCache::contains(trace::ObjectId object) const {
-  return entries_.count(object) != 0;
+  return entries_.contains(object);
 }
 
 void LruKCache::clear() {

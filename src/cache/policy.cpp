@@ -1,7 +1,8 @@
 #include "cache/policy.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace lfo::cache {
 
@@ -13,6 +14,7 @@ CachePolicy::CachePolicy(std::uint64_t capacity) : capacity_(capacity) {
 
 bool CachePolicy::access(const trace::Request& request) {
   ++clock_;
+  const auto before = stats_;
   ++stats_.requests;
   stats_.bytes_requested += request.size;
   const bool hit = contains(request.object);
@@ -23,21 +25,25 @@ bool CachePolicy::access(const trace::Request& request) {
   } else {
     on_miss(request);
   }
-  assert(used_ <= capacity_ && "policy exceeded cache capacity");
+  // Always-on capacity invariant: a policy must evict enough bytes before
+  // admitting. This fires in release builds too — silent accounting drift
+  // is the classic failure mode of learned policies.
+  LFO_CHECK_LE(used_, capacity_)
+      << name() << " exceeded cache capacity on request " << clock_;
+  // Stats are monotone and bounded by the request stream.
+  LFO_DCHECK_LE(stats_.hits, stats_.requests) << name();
+  LFO_DCHECK_LE(stats_.bytes_hit, stats_.bytes_requested) << name();
+  LFO_DCHECK_GE(stats_.requests, before.requests) << name();
   return hit;
 }
 
 void CachePolicy::add_used(std::uint64_t bytes) {
   used_ += bytes;
-  if (used_ > capacity_) {
-    throw std::logic_error(name() + ": capacity exceeded");
-  }
+  LFO_CHECK_LE(used_, capacity_) << name() << ": admission over capacity";
 }
 
 void CachePolicy::sub_used(std::uint64_t bytes) {
-  if (bytes > used_) {
-    throw std::logic_error(name() + ": negative used bytes");
-  }
+  LFO_CHECK_LE(bytes, used_) << name() << ": eviction of unaccounted bytes";
   used_ -= bytes;
 }
 

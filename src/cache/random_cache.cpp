@@ -6,7 +6,7 @@ RandomCache::RandomCache(std::uint64_t capacity, std::uint64_t seed)
     : CachePolicy(capacity), rng_(seed) {}
 
 bool RandomCache::contains(trace::ObjectId object) const {
-  return index_.count(object) != 0;
+  return index_.contains(object);
 }
 
 void RandomCache::clear() {

@@ -21,7 +21,7 @@ std::string SegmentedLruCache::name() const {
 }
 
 bool SegmentedLruCache::contains(trace::ObjectId object) const {
-  return map_.count(object) != 0;
+  return map_.contains(object);
 }
 
 void SegmentedLruCache::clear() {

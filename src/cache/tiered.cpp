@@ -17,7 +17,7 @@ TieredCache::TieredCache(std::uint64_t fast_capacity,
 }
 
 bool TieredCache::contains(trace::ObjectId object) const {
-  return map_.count(object) != 0;
+  return map_.contains(object);
 }
 
 void TieredCache::clear() {

@@ -12,7 +12,7 @@ LfoCache::LfoCache(std::uint64_t capacity,
       row_buffer_(feature_config.dimension(), 0.0f) {}
 
 bool LfoCache::contains(trace::ObjectId object) const {
-  return entries_.count(object) != 0;
+  return entries_.contains(object);
 }
 
 void LfoCache::clear() {

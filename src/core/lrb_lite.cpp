@@ -18,7 +18,7 @@ LrbCache::LrbCache(std::uint64_t capacity, LrbConfig config,
       row_buffer_(config_.features.dimension(), 0.0f) {}
 
 bool LrbCache::contains(trace::ObjectId object) const {
-  return index_.count(object) != 0;
+  return index_.contains(object);
 }
 
 void LrbCache::clear() {

@@ -8,6 +8,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace lfo::gbdt {
@@ -287,6 +288,15 @@ class Trainer {
         hist_.sum_h[b] += hessians_[r];
         hist_.count[b] += 1;
       }
+#if LFO_DEBUG_CHECKS
+      // Every row of the leaf must land in exactly one bin; a mismatch
+      // means the binning index and the row partition have diverged.
+      std::uint64_t binned_rows = 0;
+      for (std::uint32_t b = 0; b < bins; ++b) binned_rows += hist_.count[b];
+      LFO_CHECK_EQ(binned_rows, rows.size())
+          << "histogram bin counts do not sum to leaf row count (feature "
+          << f << ")";
+#endif
       double left_g = 0, left_h = 0;
       std::uint32_t left_count = 0;
       for (std::uint32_t b = 0; b + 1 < bins; ++b) {
@@ -355,6 +365,14 @@ class Trainer {
       LeafTask task = heap.top();
       heap.pop();
       const auto& s = task.best;
+      // A split only enters the heap when its gain beats min_split_gain,
+      // so with the default non-negative threshold gains stay monotone.
+      LFO_DCHECK_GE(s.gain, params_.min_split_gain)
+          << "split with sub-threshold gain escaped pruning";
+      // Gradient mass is conserved across the split.
+      LFO_DCHECK_LE(std::abs(s.left_g + s.right_g - task.sum_g),
+                    1e-6 * (1.0 + std::abs(task.sum_g)))
+          << "split lost gradient mass";
       // Partition rows of this leaf by the chosen split.
       const auto column =
           binned_.column(static_cast<std::size_t>(s.feature));

@@ -6,11 +6,18 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace lfo::mcmf {
 
 namespace {
 
 constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+
+/// Debug-only verification passes are O(m) per augmentation (and the
+/// cross-solver oracle is a full second solve), so they only run on graphs
+/// below this edge count — unit-test scale, not production sweeps.
+constexpr EdgeId kVerifyMaxEdges = 20000;
 
 /// Shared augmenting-path state.
 struct PathState {
@@ -94,6 +101,25 @@ bool spfa(const Graph& g, NodeId source, NodeId target, PathState& st) {
   return st.dist[static_cast<std::size_t>(target)] < kInfCost;
 }
 
+/// Johnson invariant: after folding the (target-clamped) Dijkstra
+/// distances into the potentials, EVERY residual arc has non-negative
+/// reduced cost. Any violation would make the next Dijkstra round
+/// silently wrong.
+void verify_reduced_costs([[maybe_unused]] const Graph& g,
+                          [[maybe_unused]] const std::vector<Cost>& potential) {
+#if LFO_DEBUG_CHECKS
+  for (std::size_t a = 0; a < g.num_arcs(); ++a) {
+    const auto& arc = g.arc(a);
+    if (arc.residual <= 0) continue;
+    const auto ui = static_cast<std::size_t>(g.arc(a ^ 1).to);  // tail
+    const auto vi = static_cast<std::size_t>(arc.to);
+    LFO_CHECK_GE(arc.cost + potential[ui] - potential[vi], 0)
+        << "negative reduced cost on arc " << a << " (" << ui << " -> " << vi
+        << ")";
+  }
+#endif
+}
+
 }  // namespace
 
 SolveResult solve_min_cost_flow(Graph& graph, std::span<const Flow> supplies,
@@ -103,6 +129,17 @@ SolveResult solve_min_cost_flow(Graph& graph, std::span<const Flow> supplies,
         "solve_min_cost_flow: supplies size != num_nodes");
   }
   graph.clear_flow();
+
+#if LFO_DEBUG_CHECKS
+  // Cross-solver oracle: on small graphs, re-solve with Bellman-Ford and
+  // require identical objective values (the optimum is unique even when
+  // the flow assignment is not).
+  const bool cross_check =
+      algorithm == Algorithm::kSuccessiveShortestPaths &&
+      graph.num_edges() <= kVerifyMaxEdges;
+  Graph pristine;
+  if (cross_check) pristine = graph;
+#endif
 
   const NodeId n = graph.num_nodes();
   const EdgeId original_edges = graph.num_edges();
@@ -136,10 +173,17 @@ SolveResult solve_min_cost_flow(Graph& graph, std::span<const Flow> supplies,
     ++result.augmentations;
 
     if (algorithm == Algorithm::kSuccessiveShortestPaths) {
-      // Johnson potential update keeps reduced costs non-negative. Nodes
-      // never reached keep their potential (their dist is +inf).
+      // Johnson potential update. Dijkstra early-exits at the target, so
+      // labels of still-unsettled nodes overestimate their true shortest
+      // distance; folding them in raw would leave negative reduced costs
+      // for later rounds. Clamping every label at the target's distance
+      // (the largest settled label) keeps all potentials valid.
+      const Cost target_dist = st.dist[static_cast<std::size_t>(target)];
       for (std::size_t v = 0; v < potential.size(); ++v) {
-        if (st.dist[v] < kInfCost) potential[v] += st.dist[v];
+        potential[v] += std::min(st.dist[v], target_dist);
+      }
+      if (graph.num_edges() <= kVerifyMaxEdges) {
+        verify_reduced_costs(graph, potential);
       }
     }
 
@@ -169,6 +213,27 @@ SolveResult solve_min_cost_flow(Graph& graph, std::span<const Flow> supplies,
   result.total_cost = cost;
 
   graph.truncate(n, original_edges);
+
+  // Flow conservation against the caller's supplies: every node's net
+  // outflow equals its supply and no edge exceeds capacity.
+  if (result.feasible) {
+    LFO_DCHECK(is_feasible_flow(graph, supplies))
+        << "solver produced an infeasible flow (conservation or capacity "
+           "violated)";
+  }
+
+#if LFO_DEBUG_CHECKS
+  if (cross_check) {
+    const auto oracle =
+        solve_min_cost_flow(pristine, supplies, Algorithm::kBellmanFord);
+    LFO_CHECK_EQ(result.feasible, oracle.feasible)
+        << "SSP and Bellman-Ford disagree on feasibility";
+    LFO_CHECK_EQ(result.total_flow, oracle.total_flow)
+        << "SSP and Bellman-Ford disagree on routed flow";
+    LFO_CHECK_EQ(result.total_cost, oracle.total_cost)
+        << "SSP and Bellman-Ford disagree on the optimal cost";
+  }
+#endif
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/check.hpp"
+
 namespace lfo::opt {
 
 BeladyResult simulate_belady(std::span<const trace::Request> reqs,
@@ -80,6 +82,10 @@ BeladyResult simulate_belady(std::span<const trace::Request> reqs,
     cached.emplace(r.object, Entry{r.size});
     handles[r.object] = evict_order.emplace(priority(i), r.object);
     used += r.size;
+    LFO_CHECK_LE(used, cache_size) << "Belady admitted past capacity";
+    // The three residency indexes track the same object set.
+    LFO_DCHECK_EQ(cached.size(), handles.size());
+    LFO_DCHECK_EQ(cached.size(), evict_order.size());
   }
 
   res.bhr = res.total_bytes ? static_cast<double>(res.hit_bytes) /

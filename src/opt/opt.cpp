@@ -7,6 +7,7 @@
 
 #include "mincostflow/solver.hpp"
 #include "opt/segment_tree.hpp"
+#include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace lfo::opt {
@@ -18,6 +19,12 @@ using Clock = std::chrono::steady_clock;
 /// Fill hit totals from per-interval decisions.
 void finalize_metrics(std::span<const trace::Request> reqs,
                       OptDecisions& out) {
+  // The decision schedule must cover the window exactly: one decision per
+  // request, one fraction per request.
+  LFO_CHECK_EQ(out.cached.size(), reqs.size())
+      << "OPT decision vector length != window length";
+  LFO_CHECK_EQ(out.cache_fraction.size(), reqs.size())
+      << "OPT fraction vector length != window length";
   out.total_requests = reqs.size();
   out.total_bytes = 0;
   out.hit_requests = 0;
@@ -76,6 +83,9 @@ void solve_mcf_window(std::span<const trace::Request> reqs,
     const auto& iv = intervals[k];
     const double fraction =
         1.0 - static_cast<double>(bypass_flow) / static_cast<double>(iv.size);
+    // The bypass edge carries between 0 and the full object size.
+    LFO_DCHECK_GE(bypass_flow, 0);
+    LFO_DCHECK_LE(bypass_flow, static_cast<mcmf::Flow>(iv.size));
     out.cache_fraction[base + iv.start] = static_cast<float>(fraction);
     out.cached[base + iv.start] = bypass_flow == 0 ? 1 : 0;
   }
@@ -192,6 +202,11 @@ OptDecisions compute_opt(std::span<const trace::Request> reqs,
   out.solve_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   finalize_metrics(reqs, out);
+  LFO_DCHECK_LE(out.hit_requests, out.total_requests);
+  LFO_DCHECK_LE(out.hit_bytes, out.total_bytes);
+  // The fractional relaxation upper-bounds the integral schedule.
+  LFO_DCHECK_GE(out.bhr_upper, out.bhr - 1e-9);
+  LFO_DCHECK_GE(out.ohr_upper, out.ohr - 1e-9);
   return out;
 }
 

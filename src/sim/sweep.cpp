@@ -36,6 +36,48 @@ std::vector<HrcPoint> sweep_hit_ratio_curves(const trace::Trace& trace,
   return points;
 }
 
+std::vector<HrcPoint> sweep_hit_ratio_curves_parallel(
+    const trace::Trace& trace, const SweepConfig& config,
+    util::ThreadPool& pool) {
+  struct Job {
+    std::string policy;  // empty = OPT bound
+    std::uint64_t cache_size = 0;
+    double fraction = 0.0;
+  };
+  std::vector<Job> jobs;
+  const auto unique = trace.unique_bytes();
+  for (const double fraction : config.cache_fractions) {
+    const auto cache_size = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(unique) *
+                                      fraction));
+    for (const auto& name : config.policies) {
+      jobs.push_back({name, cache_size, fraction});
+    }
+    if (config.include_opt) jobs.push_back({"", cache_size, fraction});
+  }
+
+  // One pre-sized slot per job: tasks never touch shared state, so the
+  // parallel sweep is deterministic and race-free by construction.
+  std::vector<HrcPoint> points(jobs.size());
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    const auto& job = jobs[i];
+    if (job.policy.empty()) {
+      opt::OptConfig oc;
+      oc.cache_size = job.cache_size;
+      oc.mode = opt::OptMode::kGreedyPacking;
+      const auto d = opt::compute_opt(
+          std::span<const trace::Request>(trace.requests()), oc);
+      points[i] = {"OPT", job.cache_size, job.fraction, d.bhr, d.ohr};
+    } else {
+      auto policy = cache::make_policy(job.policy, job.cache_size,
+                                       config.seed);
+      const auto r = simulate_policy(*policy, trace);
+      points[i] = {job.policy, job.cache_size, job.fraction, r.bhr, r.ohr};
+    }
+  });
+  return points;
+}
+
 void write_hrc_csv(std::ostream& os, const std::vector<HrcPoint>& points) {
   util::CsvWriter csv(os);
   csv.header({"policy", "cache_fraction", "cache_bytes", "bhr", "ohr"});

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lfo::sim {
 
@@ -34,6 +35,14 @@ struct SweepConfig {
 /// Replay the trace once per (policy, size) and collect the curves.
 std::vector<HrcPoint> sweep_hit_ratio_curves(const trace::Trace& trace,
                                              const SweepConfig& config);
+
+/// Parallel variant: every (policy, size) replay and every OPT bound runs
+/// as an independent task on `pool`. Results are identical to the serial
+/// sweep, in the same order (each task owns one pre-allocated output slot
+/// and policies share nothing but the read-only trace).
+std::vector<HrcPoint> sweep_hit_ratio_curves_parallel(
+    const trace::Trace& trace, const SweepConfig& config,
+    util::ThreadPool& pool);
 
 /// Emit the sweep as CSV: policy,cache_fraction,cache_bytes,bhr,ohr.
 void write_hrc_csv(std::ostream& os, const std::vector<HrcPoint>& points);

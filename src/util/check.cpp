@@ -1,0 +1,25 @@
+#include "util/check.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace lfo::util::check_internal {
+
+FailureStream::FailureStream(const char* file, int line, const char* expr,
+                             std::string values)
+    : file_(file), line_(line), expr_(expr), values_(std::move(values)) {}
+
+FailureStream::~FailureStream() {
+  // One flat write so concurrent failures (e.g. under the TSan stress
+  // tests) do not interleave mid-message.
+  std::ostringstream report;
+  report << "LFO_CHECK failed at " << file_ << ":" << line_ << ": " << expr_
+         << values_;
+  const std::string context = os_.str();
+  if (!context.empty()) report << " — " << context;
+  report << '\n';
+  std::cerr << report.str() << std::flush;
+  std::abort();
+}
+
+}  // namespace lfo::util::check_internal

@@ -1,0 +1,119 @@
+#ifndef LFO_UTIL_CHECK_HPP
+#define LFO_UTIL_CHECK_HPP
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+/// Runtime contract checks for hot invariants (byte accounting, flow
+/// conservation, histogram totals, ...). Unlike <cassert> these stay on in
+/// every build type: learned-cache bugs tend to corrupt accounting silently
+/// in release runs, which is exactly where we need them to fire.
+///
+///   LFO_CHECK(cond)            — abort with expression text if cond is false
+///   LFO_CHECK_EQ/NE/LE/LT/GE/GT(a, b)
+///                              — abort and print BOTH operand values
+///   LFO_DCHECK... variants     — compiled out unless LFO_DEBUG_CHECKS
+///                                (on in !NDEBUG builds and under
+///                                LFO_SANITIZE presets); use for O(n)
+///                                verification passes on hot paths
+///
+/// Every macro is a statement that accepts trailing streamed context:
+///
+///   LFO_CHECK_LE(used_, capacity_) << name() << " over capacity";
+///
+/// Failures print file:line, the expression, operand values, and the
+/// streamed context to stderr, then abort() — so sanitizers and core dumps
+/// capture the exact faulting state.
+
+#if !defined(LFO_DEBUG_CHECKS) && (!defined(NDEBUG) || defined(LFO_ENABLE_DCHECKS))
+#define LFO_DEBUG_CHECKS 1
+#endif
+
+namespace lfo::util::check_internal {
+
+/// Collects the streamed failure context; the destructor reports and aborts.
+class FailureStream {
+ public:
+  FailureStream(const char* file, int line, const char* expr,
+                std::string values = {});
+  FailureStream(const FailureStream&) = delete;
+  FailureStream& operator=(const FailureStream&) = delete;
+  [[noreturn]] ~FailureStream();
+
+  std::ostream& stream() { return os_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::string values_;
+  std::ostringstream os_;
+};
+
+/// Stringify one operand of a binary check for the failure report. Values
+/// that cannot be streamed print as "<unprintable>".
+template <typename T>
+std::string stringify(const T& v) {
+  if constexpr (requires(std::ostream& os, const T& x) { os << x; }) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+template <typename A, typename B>
+std::string format_operands(const A& a, const B& b) {
+  return " (lhs=" + stringify(a) + " vs rhs=" + stringify(b) + ")";
+}
+
+}  // namespace lfo::util::check_internal
+
+/// The `while` keeps each macro a single statement usable in `if/else`
+/// without braces and lets callers append `<< context`; the body never
+/// loops because ~FailureStream aborts.
+#define LFO_CHECK(cond)                                             \
+  while (!(cond))                                                   \
+  ::lfo::util::check_internal::FailureStream(__FILE__, __LINE__, #cond) \
+      .stream()
+
+#define LFO_CHECK_OP_IMPL(a, b, op)                                       \
+  while (!((a)op(b)))                                                     \
+  ::lfo::util::check_internal::FailureStream(                             \
+      __FILE__, __LINE__, #a " " #op " " #b,                              \
+      ::lfo::util::check_internal::format_operands((a), (b)))             \
+      .stream()
+
+#define LFO_CHECK_EQ(a, b) LFO_CHECK_OP_IMPL(a, b, ==)
+#define LFO_CHECK_NE(a, b) LFO_CHECK_OP_IMPL(a, b, !=)
+#define LFO_CHECK_LE(a, b) LFO_CHECK_OP_IMPL(a, b, <=)
+#define LFO_CHECK_LT(a, b) LFO_CHECK_OP_IMPL(a, b, <)
+#define LFO_CHECK_GE(a, b) LFO_CHECK_OP_IMPL(a, b, >=)
+#define LFO_CHECK_GT(a, b) LFO_CHECK_OP_IMPL(a, b, >)
+
+#if LFO_DEBUG_CHECKS
+#define LFO_DCHECK(cond) LFO_CHECK(cond)
+#define LFO_DCHECK_EQ(a, b) LFO_CHECK_EQ(a, b)
+#define LFO_DCHECK_NE(a, b) LFO_CHECK_NE(a, b)
+#define LFO_DCHECK_LE(a, b) LFO_CHECK_LE(a, b)
+#define LFO_DCHECK_LT(a, b) LFO_CHECK_LT(a, b)
+#define LFO_DCHECK_GE(a, b) LFO_CHECK_GE(a, b)
+#define LFO_DCHECK_GT(a, b) LFO_CHECK_GT(a, b)
+#else
+/// Disabled DCHECKs must still compile their operands (so refactors keep
+/// them in sync) without evaluating them at runtime.
+#define LFO_DCHECK(cond) \
+  while (false && static_cast<bool>(cond)) ::lfo::util::check_internal::FailureStream(__FILE__, __LINE__, #cond).stream()
+#define LFO_DCHECK_OP_IMPL(a, b, op) \
+  while (false && static_cast<bool>((a)op(b))) ::lfo::util::check_internal::FailureStream(__FILE__, __LINE__, #a " " #op " " #b).stream()
+#define LFO_DCHECK_EQ(a, b) LFO_DCHECK_OP_IMPL(a, b, ==)
+#define LFO_DCHECK_NE(a, b) LFO_DCHECK_OP_IMPL(a, b, !=)
+#define LFO_DCHECK_LE(a, b) LFO_DCHECK_OP_IMPL(a, b, <=)
+#define LFO_DCHECK_LT(a, b) LFO_DCHECK_OP_IMPL(a, b, <)
+#define LFO_DCHECK_GE(a, b) LFO_DCHECK_OP_IMPL(a, b, >=)
+#define LFO_DCHECK_GT(a, b) LFO_DCHECK_OP_IMPL(a, b, >)
+#endif
+
+#endif  // LFO_UTIL_CHECK_HPP

@@ -12,13 +12,26 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_ = true;
+  // Notify under the lock: a worker between its predicate check and its
+  // wait() cannot miss the stop signal.
   cv_.notify_all();
+  if (joining_) {
+    // Another thread owns the joins; wait until it finishes so every
+    // shutdown() caller can rely on the workers being gone on return.
+    join_cv_.wait(lock, [this] { return joined_; });
+    return;
+  }
+  joining_ = true;
+  lock.unlock();
   for (auto& w : workers_) w.join();
+  lock.lock();
+  joined_ = true;
+  join_cv_.notify_all();
 }
 
 void ThreadPool::worker_loop() {

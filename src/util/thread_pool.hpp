@@ -7,14 +7,29 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace lfo::util {
 
+/// Thrown by submit() once the pool has begun shutting down. Callers that
+/// race submission against shutdown (allowed) must handle it; silently
+/// dropping the task would leave its future never-ready.
+class ThreadPoolStopped : public std::runtime_error {
+ public:
+  ThreadPoolStopped() : std::runtime_error("ThreadPool: pool is stopped") {}
+};
+
 /// Fixed-size worker pool. Used by the throughput bench (paper Fig 7) to run
 /// the LFO predictor on N threads, and by parallel training utilities.
-/// Destruction drains outstanding tasks, then joins.
+///
+/// Shutdown contract: shutdown() (or destruction) stops admission first,
+/// then drains every task already queued, then joins the workers. submit()
+/// from other threads may race shutdown() safely — it either enqueues the
+/// task (which will run) or throws ThreadPoolStopped; tasks are never
+/// silently dropped. Calling submit() after the destructor has *returned*
+/// is still undefined, as for any dead object.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -25,7 +40,12 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; returns a future for its completion.
+  /// Stop accepting tasks, drain the queue, join all workers. Idempotent
+  /// and safe to call concurrently with submit() from other threads.
+  void shutdown();
+
+  /// Enqueue a task; returns a future for its completion. Throws
+  /// ThreadPoolStopped if the pool is shutting down.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -34,6 +54,7 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) throw ThreadPoolStopped();
       tasks_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -50,8 +71,11 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> tasks_;
   std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::condition_variable cv_;       // workers wait here for tasks/stop
+  std::condition_variable join_cv_;  // late shutdown() callers wait here
+  bool stop_ = false;     // guarded by mu_
+  bool joining_ = false;  // guarded by mu_: one caller owns the joins
+  bool joined_ = false;   // guarded by mu_: all workers joined
 };
 
 }  // namespace lfo::util

@@ -1,0 +1,140 @@
+// Contract-layer tests: the LFO_CHECK family itself, plus the offline
+// dominance property (OPT bounds every heuristic) that the ISSUE pins as a
+// cross-module invariant.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cache/factory.hpp"
+#include "opt/belady.hpp"
+#include "opt/opt.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using lfo::trace::Request;
+
+TEST(Check, PassingChecksAreSilent) {
+  LFO_CHECK(1 + 1 == 2);
+  LFO_CHECK_EQ(4, 4);
+  LFO_CHECK_NE(4, 5);
+  LFO_CHECK_LE(4, 4);
+  LFO_CHECK_LT(4, 5);
+  LFO_CHECK_GE(5, 4);
+  LFO_CHECK_GT(5, 4);
+  LFO_DCHECK(true);
+  LFO_DCHECK_EQ(1, 1);
+  SUCCEED();
+}
+
+TEST(Check, OperandsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  LFO_CHECK_LE(next(), 10);
+  EXPECT_EQ(calls, 1);
+  LFO_CHECK(next() == 2);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Check, WorksAsSingleStatementInIfElse) {
+  // Must compile as the sole statement of unbraced if/else branches.
+  const bool flag = true;
+  if (flag)
+    LFO_CHECK(flag);
+  else
+    LFO_CHECK(!flag);
+  SUCCEED();
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailureAbortsWithExpression) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(LFO_CHECK(2 + 2 == 5), "LFO_CHECK failed.*2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, BinaryFailurePrintsBothValues) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::uint64_t used = 120;
+  const std::uint64_t capacity = 100;
+  EXPECT_DEATH(LFO_CHECK_LE(used, capacity) << "over capacity",
+               "lhs=120 vs rhs=100.*over capacity");
+}
+
+TEST(CheckDeathTest, StreamedContextIsReported) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(LFO_CHECK(false) << "policy " << "LRU" << " broke",
+               "policy LRU broke");
+}
+
+#if LFO_DEBUG_CHECKS
+TEST(CheckDeathTest, DebugChecksFireWhenEnabled) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(LFO_DCHECK_EQ(1, 2), "LFO_CHECK failed");
+}
+#else
+TEST(Check, DebugChecksCompiledOutInRelease) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  LFO_DCHECK_EQ(next(), 99);  // must not evaluate nor fire
+  EXPECT_EQ(calls, 0);
+}
+#endif
+
+// --- OPT dominance -------------------------------------------------------
+//
+// The fractional MCF relaxation upper-bounds every feasible caching
+// schedule for the same cache size, so no online heuristic (and no Belady
+// variant) may beat it. This pins the OPT formulation, the solver, and the
+// policy zoo against each other.
+
+TEST(OptDominance, ExactOptBoundsEveryHeuristicBhr) {
+  const auto trace =
+      lfo::trace::generate_zipf_trace(1500, 150, 0.9, /*seed=*/7);
+  const std::uint64_t cache_size = trace.unique_bytes() / 10;
+
+  lfo::opt::OptConfig oc;
+  oc.cache_size = cache_size;
+  oc.mode = lfo::opt::OptMode::kExactMcf;
+  const auto opt = lfo::opt::compute_opt(
+      std::span<const Request>(trace.requests()), oc);
+
+  for (const std::string name :
+       {"LRU", "FIFO", "GDSF", "S4LRU", "LHD", "TinyLFU"}) {
+    auto policy = lfo::cache::make_policy(name, cache_size, /*seed=*/1);
+    const auto r = lfo::sim::simulate_policy(*policy, trace);
+    EXPECT_GE(opt.bhr_upper + 1e-9, r.bhr)
+        << name << " beat the fractional OPT bound";
+  }
+
+  const auto belady = lfo::opt::simulate_belady(
+      std::span<const Request>(trace.requests()), cache_size,
+      lfo::opt::BeladyVariant::kFarthestNextUse);
+  EXPECT_GE(opt.bhr_upper + 1e-9, belady.bhr)
+      << "Belady beat the fractional OPT bound";
+}
+
+TEST(OptDominance, DecisionVectorsMatchWindowLength) {
+  const auto trace = lfo::trace::generate_zipf_trace(600, 80, 1.0, 3);
+  for (const auto mode :
+       {lfo::opt::OptMode::kExactMcf, lfo::opt::OptMode::kRankSplitMcf,
+        lfo::opt::OptMode::kIntervalSplitMcf,
+        lfo::opt::OptMode::kGreedyPacking}) {
+    lfo::opt::OptConfig oc;
+    oc.cache_size = trace.unique_bytes() / 8;
+    oc.mode = mode;
+    const auto d = lfo::opt::compute_opt(
+        std::span<const Request>(trace.requests()), oc);
+    EXPECT_EQ(d.cached.size(), trace.size());
+    EXPECT_EQ(d.cache_fraction.size(), trace.size());
+    EXPECT_LE(d.bhr, d.bhr_upper + 1e-9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// TSan-targeted stress tests (ctest label "stress"): hammer the ThreadPool
+// shutdown contract and the parallel sweep from many threads. These run in
+// every suite, but their real job is under the `tsan` preset where the
+// scheduler interleavings are checked for data races.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "trace/generator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using lfo::util::ThreadPool;
+using lfo::util::ThreadPoolStopped;
+
+TEST(ThreadPoolStress, SubmitShutdownRaceNeverLosesTasks) {
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    std::atomic<int> accepted{0};
+
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<void>>> futures(4);
+    submitters.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&, t] {
+        while (true) {
+          try {
+            futures[static_cast<std::size_t>(t)].push_back(
+                pool.submit([&executed] { ++executed; }));
+            ++accepted;
+          } catch (const ThreadPoolStopped&) {
+            return;  // shutdown won the race: stop submitting
+          }
+        }
+      });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    pool.shutdown();
+    for (auto& s : submitters) s.join();
+
+    // Every accepted task must have run: shutdown drains, never drops.
+    for (auto& per_thread : futures) {
+      for (auto& f : per_thread) EXPECT_NO_THROW(f.get());
+    }
+    EXPECT_EQ(executed.load(), accepted.load());
+  }
+}
+
+TEST(ThreadPoolStress, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), ThreadPoolStopped);
+}
+
+TEST(ThreadPoolStress, ShutdownIsIdempotentAndConcurrent) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&ran] { ++ran; });
+  std::vector<std::thread> closers;
+  closers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    closers.emplace_back([&pool] { pool.shutdown(); });
+  }
+  for (auto& c : closers) c.join();
+  // Every shutdown() caller returned only after the drain completed.
+  EXPECT_EQ(ran.load(), 50);
+  pool.shutdown();  // idempotent
+  EXPECT_THROW(pool.submit([] {}), ThreadPoolStopped);
+}
+
+TEST(ThreadPoolStress, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) pool.submit([&ran] { ++ran; });
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolStress, RepeatedCreateDestroyCycles) {
+  // Construction/teardown churn from a live submitter inside each cycle.
+  std::atomic<int> total{0};
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) pool.submit([&total] { ++total; });
+    // Pool destroyed immediately with the queue possibly non-empty.
+  }
+  EXPECT_EQ(total.load(), 25 * 20);
+}
+
+TEST(ThreadPoolStress, ParallelForFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> counted{0};
+  std::vector<std::thread> callers;
+  callers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      pool.parallel_for(1000, [&counted](std::size_t) { ++counted; });
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(counted.load(), 4000U);
+}
+
+TEST(SweepStress, ParallelSweepMatchesSerialSweep) {
+  const auto trace = lfo::trace::generate_zipf_trace(800, 100, 0.9, 13);
+  lfo::sim::SweepConfig config;
+  config.policies = {"LRU", "GDSF", "S4LRU"};
+  config.cache_fractions = {0.05, 0.2};
+  config.include_opt = true;
+
+  const auto serial = lfo::sim::sweep_hit_ratio_curves(trace, config);
+  ThreadPool pool(4);
+  const auto parallel =
+      lfo::sim::sweep_hit_ratio_curves_parallel(trace, config, pool);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].policy, parallel[i].policy);
+    EXPECT_EQ(serial[i].cache_size, parallel[i].cache_size);
+    EXPECT_EQ(serial[i].bhr, parallel[i].bhr) << serial[i].policy;
+    EXPECT_EQ(serial[i].ohr, parallel[i].ohr) << serial[i].policy;
+  }
+}
+
+TEST(SweepStress, ConcurrentSweepsShareNothing) {
+  // Two sweeps over the same read-only trace on one pool, interleaved
+  // with direct parallel_for traffic: TSan verifies isolation.
+  const auto trace = lfo::trace::generate_zipf_trace(500, 80, 1.0, 29);
+  lfo::sim::SweepConfig config;
+  config.policies = {"LRU", "LFUDA"};
+  config.cache_fractions = {0.1};
+  config.include_opt = false;
+
+  ThreadPool pool(4);
+  std::atomic<int> noise{0};
+  std::thread noisy([&] {
+    for (int i = 0; i < 20; ++i) {
+      pool.parallel_for(64, [&noise](std::size_t) { ++noise; });
+    }
+  });
+  const auto a = lfo::sim::sweep_hit_ratio_curves_parallel(trace, config, pool);
+  const auto b = lfo::sim::sweep_hit_ratio_curves_parallel(trace, config, pool);
+  noisy.join();
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bhr, b[i].bhr);
+    EXPECT_EQ(a[i].ohr, b[i].ohr);
+  }
+  EXPECT_EQ(noise.load(), 20 * 64);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Static-analysis and dynamic-correctness gate for libLFO.
+#
+#   tools/run_static_checks.sh [--skip-asan] [--skip-tsan] [--skip-tidy]
+#
+# Runs, in order:
+#   1. asan-ubsan preset: configure, build the test suite, run ctest under
+#      AddressSanitizer + UndefinedBehaviorSanitizer (LFO_DCHECKs on).
+#   2. tsan preset: configure, build, run the "stress" ctest label
+#      (ThreadPool + parallel sweep) under ThreadSanitizer.
+#   3. clang-tidy over src/ via the asan build's compile_commands.json
+#      with the repo .clang-tidy config (skipped with a warning when no
+#      clang-tidy binary is installed, e.g. gcc-only containers).
+#
+# Exits non-zero on the first failing stage.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SKIP_ASAN=0
+SKIP_TSAN=0
+SKIP_TIDY=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) SKIP_ASAN=1 ;;
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-tidy) SKIP_TIDY=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+if [[ "$SKIP_ASAN" -eq 0 ]]; then
+  banner "asan-ubsan: configure + build tests"
+  cmake --preset asan-ubsan
+  cmake --build build-asan --target lfo_tests -j "$JOBS"
+  banner "asan-ubsan: ctest"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$SKIP_TSAN" -eq 0 ]]; then
+  banner "tsan: configure + build stress tests"
+  cmake --preset tsan
+  cmake --build build-tsan --target test_stress_threads -j "$JOBS"
+  banner "tsan: ctest -L stress"
+  ctest --test-dir build-tsan -L stress --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$SKIP_TIDY" -eq 0 ]]; then
+  banner "clang-tidy over src/"
+  TIDY="$(command -v clang-tidy || true)"
+  if [[ -z "$TIDY" ]]; then
+    echo "WARNING: clang-tidy not installed; skipping the lint gate." >&2
+    echo "         (install clang-tidy and re-run to enforce .clang-tidy)" >&2
+  else
+    # Reuse any existing compile database; prefer the asan tree since this
+    # script just built it.
+    DB_DIR=""
+    for d in build-asan build; do
+      [[ -f "$d/compile_commands.json" ]] && DB_DIR="$d" && break
+    done
+    if [[ -z "$DB_DIR" ]]; then
+      cmake --preset asan-ubsan
+      DB_DIR=build-asan
+    fi
+    mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p "$DB_DIR" -quiet "${SOURCES[@]}"
+    else
+      "$TIDY" -p "$DB_DIR" --quiet "${SOURCES[@]}"
+    fi
+  fi
+fi
+
+banner "all requested static checks passed"
