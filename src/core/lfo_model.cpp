@@ -20,6 +20,14 @@ double LfoModel::predict(std::span<const float> feature_row) const {
   return model_.predict_proba(feature_row);
 }
 
+std::vector<double> LfoModel::predict_batch(
+    std::span<const float> matrix) const {
+  const std::size_t dim = dimension();
+  std::vector<double> out(dim ? matrix.size() / dim : 0);
+  model_.predict_proba_batch(matrix, dim, out);
+  return out;
+}
+
 std::vector<LfoModel::FeatureImportance> LfoModel::feature_importance()
     const {
   const auto names = config_.names();
@@ -113,9 +121,10 @@ util::BinaryConfusion evaluate_predictions(
   build.cache_size = cache_size;
   const auto dataset = features::build_dataset(window, opt, build);
 
+  const auto proba = model.predict_batch(dataset.features_matrix());
   util::BinaryConfusion confusion;
   for (std::size_t i = 0; i < dataset.num_rows(); ++i) {
-    const bool predicted = model.predict(dataset.row(i)) >= cutoff;
+    const bool predicted = proba[i] >= cutoff;
     const bool actual = dataset.label(i) > 0.5f;
     confusion.add(predicted, actual);
   }

@@ -1,73 +1,256 @@
 #include "core/windowed.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
+#include <future>
+#include <thread>
+#include <utility>
 
-#include "util/logging.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lfo::core {
 
-WindowedResult run_windowed_lfo(const trace::Trace& trace,
-                                const WindowedConfig& config) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Serve one window through the cache and fill the report's hit ratios.
+void serve_window(LfoCache& cache, std::span<const trace::Request> window,
+                  WindowReport& report) {
+  const auto before = cache.stats();
+  for (const auto& r : window) cache.access(r);
+  const auto after = cache.stats();
+  const auto bytes = after.bytes_requested - before.bytes_requested;
+  const auto reqs = after.requests - before.requests;
+  report.bhr = bytes ? static_cast<double>(after.bytes_hit -
+                                           before.bytes_hit) /
+                           static_cast<double>(bytes)
+                     : 0.0;
+  report.ohr = reqs ? static_cast<double>(after.hits - before.hits) /
+                          static_cast<double>(reqs)
+                    : 0.0;
+}
+
+/// Everything one training task hands back to the pipeline. The
+/// prediction error of the model that served the window is evaluated
+/// inside the task too — it needs the freshly derived OPT labels, and
+/// keeping it off the serving thread is the point of the exercise.
+struct TrainedWindow {
+  TrainResult result;
+  double prediction_error = -1.0;
+  Clock::time_point started;
+  Clock::time_point finished;
+};
+
+TrainedWindow train_window_task(std::span<const trace::Request> window,
+                                const LfoConfig& config,
+                                std::shared_ptr<const LfoModel> serving) {
+  TrainedWindow out;
+  out.started = Clock::now();
+  out.result = train_on_window(window, config);
+  if (serving) {
+    const auto confusion =
+        evaluate_predictions(*serving, window, out.result.opt,
+                             config.cache_size, config.cutoff);
+    out.prediction_error = 1.0 - confusion.accuracy();
+  }
+  out.finished = Clock::now();
+  return out;
+}
+
+/// One enqueued (or, in sync mode, already finished) training job.
+struct TrainJob {
+  std::future<TrainedWindow> trained;
+  std::size_t report_index = 0;
+  std::size_t window_index = 0;
+};
+
+/// Synchronous reference pipeline: OPT + train run inline between
+/// windows. This is the schedule the async path must reproduce exactly.
+WindowedResult run_sync(const trace::Trace& trace,
+                        const WindowedConfig& config) {
   WindowedResult result;
   LfoCache cache(config.lfo.cache_size, config.lfo.features,
                  config.lfo.cutoff);
-  // Models waiting out their activation lag (front = oldest).
-  std::deque<std::shared_ptr<const LfoModel>> pending;
+  // Models waiting out their activation lag (front = oldest), paired
+  // with the index of the window they were trained on.
+  std::deque<std::pair<std::shared_ptr<const LfoModel>, std::size_t>>
+      pending;
 
   std::size_t window_index = 0;
   for (std::size_t begin = 0; begin < trace.size();
        begin += config.window_size) {
     const auto window = trace.window(begin, config.window_size);
     WindowReport report;
-    report.index = window_index++;
+    report.index = window_index;
     report.begin = begin;
     report.length = window.size();
 
     // Serve the window with the model trained on the previous one.
-    const auto before = cache.stats();
-    for (const auto& r : window) cache.access(r);
-    const auto after = cache.stats();
-    const auto bytes = after.bytes_requested - before.bytes_requested;
-    const auto reqs = after.requests - before.requests;
-    report.bhr = bytes ? static_cast<double>(after.bytes_hit -
-                                             before.bytes_hit) /
-                             static_cast<double>(bytes)
-                       : 0.0;
-    report.ohr = reqs ? static_cast<double>(after.hits - before.hits) /
-                            static_cast<double>(reqs)
-                      : 0.0;
+    serve_window(cache, window, report);
 
     // Train on the window just recorded (unless retraining is disabled
     // and a model already serves).
     if (config.retrain || !cache.has_model()) {
-      const auto trained = train_on_window(window, config.lfo);
-      report.train_accuracy = trained.train_accuracy;
-      report.opt_seconds = trained.opt_seconds;
-      report.train_seconds = trained.train_seconds;
-      report.opt_bhr = trained.opt.bhr;
-      report.opt_ohr = trained.opt.ohr;
-      if (cache.has_model()) {
-        // Out-of-sample error of the model that just served this window,
-        // measured against the freshly computed OPT labels.
-        const auto confusion = evaluate_predictions(
-            *cache.model(), window, trained.opt, config.lfo.cache_size,
-            config.lfo.cutoff);
-        report.prediction_error = 1.0 - confusion.accuracy();
-      }
-      pending.push_back(trained.model);
-      if (pending.size() > config.swap_lag) {
-        cache.swap_model(pending.front());
-        pending.pop_front();
-      }
+      const auto trained =
+          train_window_task(window, config.lfo, cache.model());
+      report.train_accuracy = trained.result.train_accuracy;
+      report.opt_seconds = trained.result.opt_seconds;
+      report.train_seconds = trained.result.train_seconds;
+      report.opt_bhr = trained.result.opt.bhr;
+      report.opt_ohr = trained.result.opt.ohr;
+      report.prediction_error = trained.prediction_error;
+      pending.emplace_back(trained.result.model, window_index);
     }
     result.windows.push_back(report);
+    if (pending.size() > config.swap_lag) {
+      auto [model, trained_on] = std::move(pending.front());
+      pending.pop_front();
+      result.windows[trained_on].pipeline.training_lag_windows =
+          static_cast<std::uint32_t>(window_index - trained_on);
+      cache.swap_model(std::move(model));
+    }
+    ++window_index;
   }
 
   result.overall = cache.stats();
   result.bypassed = cache.bypassed();
   result.demoted_hits = cache.demoted_hits();
   return result;
+}
+
+/// Asynchronous pipeline: while window t is served by the current model,
+/// earlier windows' OPT derivation, dataset build and GBDT fit run on a
+/// thread pool. Jobs are consumed strictly FIFO at exactly the sync
+/// schedule's swap points, so with equal swap_lag the caching decisions
+/// are identical to run_sync; with swap_lag >= 1 every job gets at least
+/// one full window of serving time to overlap with.
+WindowedResult run_async(const trace::Trace& trace,
+                         const WindowedConfig& config) {
+  WindowedResult result;
+  LfoCache cache(config.lfo.cache_size, config.lfo.features,
+                 config.lfo.cutoff);
+  const std::size_t pool_size =
+      config.train_threads != 0
+          ? config.train_threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  util::ThreadPool pool(pool_size);
+  std::deque<TrainJob> jobs;
+
+  // Block on a job's result, fill its window's training diagnostics and
+  // return the trained model.
+  const auto finish_job =
+      [&result](TrainJob job) -> std::shared_ptr<const LfoModel> {
+    const auto wait_start = Clock::now();
+    TrainedWindow trained = job.trained.get();
+    const auto wait_end = Clock::now();
+    auto& report = result.windows[job.report_index];
+    report.train_accuracy = trained.result.train_accuracy;
+    report.opt_seconds = trained.result.opt_seconds;
+    report.train_seconds = trained.result.train_seconds;
+    report.opt_bhr = trained.result.opt.bhr;
+    report.opt_ohr = trained.result.opt.ohr;
+    report.prediction_error = trained.prediction_error;
+    report.pipeline.trained_async = true;
+    report.pipeline.wait_seconds = seconds_between(wait_start, wait_end);
+    // Time the task ran before the pipeline had to block on it — the
+    // overlap with request serving the paper's §3 asks for.
+    const auto ran_until = std::min(trained.finished, wait_start);
+    report.pipeline.overlap_seconds =
+        std::max(0.0, seconds_between(trained.started, ran_until));
+    return trained.result.model;
+  };
+
+  std::size_t window_index = 0;
+  for (std::size_t begin = 0; begin < trace.size();
+       begin += config.window_size) {
+    const auto window = trace.window(begin, config.window_size);
+    WindowReport report;
+    report.index = window_index;
+    report.begin = begin;
+    report.length = window.size();
+    report.pipeline.queue_depth =
+        static_cast<std::uint32_t>(jobs.size());
+
+    serve_window(cache, window, report);
+    result.windows.push_back(report);
+
+    // cache.has_model() flips at the same swap points as in run_sync, so
+    // this trains-or-not decision matches the sync schedule exactly.
+    if (config.retrain || !cache.has_model()) {
+      TrainJob job;
+      job.report_index = result.windows.size() - 1;
+      job.window_index = window_index;
+      job.trained = pool.submit(
+          [window, lfo = config.lfo, serving = cache.model()] {
+            return train_window_task(window, lfo, serving);
+          });
+      jobs.push_back(std::move(job));
+    }
+    if (jobs.size() > config.swap_lag) {
+      TrainJob job = std::move(jobs.front());
+      jobs.pop_front();
+      const auto trained_on = job.window_index;
+      const auto report_index = job.report_index;
+      auto model = finish_job(std::move(job));
+      result.windows[report_index].pipeline.training_lag_windows =
+          static_cast<std::uint32_t>(window_index - trained_on);
+      cache.swap_model(std::move(model));
+    }
+    ++window_index;
+  }
+
+  // Drain jobs whose models never activate (trailing windows): the sync
+  // pipeline still records their training diagnostics, so the async run
+  // must too — it just never swaps them in.
+  while (!jobs.empty()) {
+    finish_job(std::move(jobs.front()));
+    jobs.pop_front();
+  }
+  LFO_CHECK_EQ(pool.pending(), 0u)
+      << "async pipeline drained but tasks remain queued";
+
+  result.overall = cache.stats();
+  result.bypassed = cache.bypassed();
+  result.demoted_hits = cache.demoted_hits();
+  return result;
+}
+
+}  // namespace
+
+WindowedResult run_windowed_lfo(const trace::Trace& trace,
+                                const WindowedConfig& config) {
+  return config.async ? run_async(trace, config)
+                      : run_sync(trace, config);
+}
+
+bool same_decisions(const WindowedResult& a, const WindowedResult& b) {
+  if (a.overall.requests != b.overall.requests ||
+      a.overall.hits != b.overall.hits ||
+      a.overall.bytes_requested != b.overall.bytes_requested ||
+      a.overall.bytes_hit != b.overall.bytes_hit ||
+      a.bypassed != b.bypassed || a.demoted_hits != b.demoted_hits ||
+      a.windows.size() != b.windows.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.windows.size(); ++i) {
+    const auto& wa = a.windows[i];
+    const auto& wb = b.windows[i];
+    if (wa.index != wb.index || wa.begin != wb.begin ||
+        wa.length != wb.length || wa.bhr != wb.bhr || wa.ohr != wb.ohr ||
+        wa.prediction_error != wb.prediction_error ||
+        wa.train_accuracy != wb.train_accuracy ||
+        wa.opt_bhr != wb.opt_bhr || wa.opt_ohr != wb.opt_ohr) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace lfo::core

@@ -25,6 +25,35 @@ struct WindowedConfig {
   /// note that "training tasks [must] not interfere with the request
   /// traffic". 0 = the idealized synchronous swap of Fig 2.
   std::uint32_t swap_lag = 0;
+  /// Run OPT derivation, dataset build and GBDT training on background
+  /// threads while the next window(s) are being served, instead of
+  /// inline between windows. Model activation order and timing (in
+  /// windows) are exactly the synchronous schedule: with the same
+  /// swap_lag, the async run makes identical caching decisions
+  /// (same_decisions below) — only wall-clock overlap changes.
+  bool async = false;
+  /// Size of the background training pool in async mode. 0 = hardware
+  /// concurrency. Does not affect results, only overlap.
+  std::size_t train_threads = 0;
+};
+
+/// Observability of the (a)synchronous retraining pipeline, per window.
+/// These fields describe wall-clock behaviour only; they are excluded
+/// from same_decisions().
+struct PipelineStats {
+  /// Training jobs still in flight when this window started serving.
+  std::uint32_t queue_depth = 0;
+  /// Windows between this window's recording and its model's activation
+  /// (== swap_lag when the model was activated; 0 when it never was).
+  std::uint32_t training_lag_windows = 0;
+  /// Wall-clock this window's training ran concurrently with request
+  /// serving (before the pipeline blocked on its result, if ever).
+  double overlap_seconds = 0.0;
+  /// Wall-clock the serving thread blocked waiting for this window's
+  /// training at swap time (0 when training finished within its lag).
+  double wait_seconds = 0.0;
+  /// True when this window's model was trained on a background thread.
+  bool trained_async = false;
 };
 
 /// Per-window diagnostics.
@@ -47,6 +76,8 @@ struct WindowReport {
   // OPT's offline hit ratios on this window (for the optimality gap).
   double opt_bhr = 0.0;
   double opt_ohr = 0.0;
+  // Retraining-pipeline observability (wall-clock only).
+  PipelineStats pipeline;
 };
 
 /// Result of replaying a trace through the windowed pipeline.
@@ -59,9 +90,18 @@ struct WindowedResult {
 
 /// Drive a trace through LFO's record -> derive OPT -> train -> serve
 /// loop. The cache state and feature history persist across windows; only
-/// the model is swapped at window boundaries.
+/// the model is swapped at window boundaries. With config.async the
+/// train side runs on a thread pool overlapped with serving.
 WindowedResult run_windowed_lfo(const trace::Trace& trace,
                                 const WindowedConfig& config);
+
+/// True iff two runs made identical caching decisions and produced
+/// identical quality metrics: overall stats, bypass/demotion counters and
+/// every per-window decision field compare exactly. Wall-clock fields
+/// (opt_seconds, train_seconds, PipelineStats) are ignored — they are the
+/// only fields allowed to differ between sync and async execution, or
+/// across thread counts.
+bool same_decisions(const WindowedResult& a, const WindowedResult& b);
 
 }  // namespace lfo::core
 

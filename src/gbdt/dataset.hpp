@@ -32,6 +32,8 @@ class Dataset {
     return {features_.data() + r * num_features_, num_features_};
   }
   std::span<const float> labels() const { return labels_; }
+  /// The whole row-major feature matrix (for batched prediction).
+  std::span<const float> features_matrix() const { return features_; }
 
  private:
   std::size_t num_features_;

@@ -4,12 +4,15 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <queue>
 #include <stdexcept>
+#include <thread>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lfo::gbdt {
 
@@ -33,6 +36,28 @@ double Model::predict_raw(std::span<const float> features) const {
 
 double Model::predict_proba(std::span<const float> features) const {
   return sigmoid(predict_raw(features));
+}
+
+void Model::predict_raw_batch(std::span<const float> matrix,
+                              std::size_t num_features,
+                              std::span<double> out) const {
+  LFO_CHECK_GT(num_features, 0u) << "predict_raw_batch: zero-width rows";
+  LFO_CHECK_EQ(matrix.size(), out.size() * num_features)
+      << "predict_raw_batch: matrix/output shape mismatch";
+  std::fill(out.begin(), out.end(), base_score_);
+  for (const auto& t : trees_) {
+    const float* row = matrix.data();
+    for (std::size_t r = 0; r < out.size(); ++r, row += num_features) {
+      out[r] += t.predict({row, num_features});
+    }
+  }
+}
+
+void Model::predict_proba_batch(std::span<const float> matrix,
+                                std::size_t num_features,
+                                std::span<double> out) const {
+  predict_raw_batch(matrix, num_features, out);
+  for (auto& v : out) v = sigmoid(v);
 }
 
 std::vector<std::uint64_t> Model::split_counts(
@@ -130,9 +155,10 @@ struct GainLess {
 
 class Trainer {
  public:
-  Trainer(const Dataset& data, const Params& params)
+  Trainer(const Dataset& data, const Params& params, util::ThreadPool* pool)
       : data_(data),
         params_(params),
+        pool_(pool),
         binned_(data, params.max_bins),
         rng_(params.seed),
         scores_(data.num_rows(), 0.0),
@@ -198,18 +224,18 @@ class Trainer {
  private:
   void compute_gradients() {
     if (params_.objective == Objective::kBinaryLogistic) {
-      for (std::size_t r = 0; r < data_.num_rows(); ++r) {
+      run_elementwise(data_.num_rows(), [&](std::size_t r) {
         const double p = sigmoid(scores_[r]);
         const double y = data_.label(r) > 0.5f ? 1.0 : 0.0;
         gradients_[r] = p - y;
         hessians_[r] = std::max(p * (1.0 - p), 1e-12);
-      }
+      });
     } else {
       // L2: loss = 1/2 (score - y)^2; gradient = residual, hessian = 1.
-      for (std::size_t r = 0; r < data_.num_rows(); ++r) {
+      run_elementwise(data_.num_rows(), [&](std::size_t r) {
         gradients_[r] = scores_[r] - static_cast<double>(data_.label(r));
         hessians_[r] = 1.0;
-      }
+      });
     }
   }
 
@@ -270,60 +296,93 @@ class Trainer {
     return rows;
   }
 
-  SplitInfo find_best_split(std::span<const std::uint32_t> rows,
-                            std::span<const std::int32_t> features,
-                            double sum_g, double sum_h) {
+  /// Histogram + best split of a single feature over one leaf's rows.
+  /// Pure w.r.t. trainer state (reads gradients/hessians/binning only),
+  /// so features can be evaluated concurrently; for a fixed feature the
+  /// result is independent of which thread runs it (same accumulation
+  /// order over `rows`).
+  SplitInfo best_split_for_feature(std::int32_t f,
+                                   std::span<const std::uint32_t> rows,
+                                   double sum_g, double sum_h) const {
     SplitInfo best;
     best.gain = params_.min_split_gain;
     const double parent_obj = objective(sum_g, sum_h);
-    for (const std::int32_t f : features) {
-      const auto& fb = binned_.feature_bins(static_cast<std::size_t>(f));
-      const std::uint32_t bins = fb.num_bins();
-      if (bins < 2) continue;  // constant feature
-      hist_.clear(bins);
-      const auto column = binned_.column(static_cast<std::size_t>(f));
-      for (const auto r : rows) {
-        const std::uint8_t b = column[r];
-        hist_.sum_g[b] += gradients_[r];
-        hist_.sum_h[b] += hessians_[r];
-        hist_.count[b] += 1;
-      }
+    const auto& fb = binned_.feature_bins(static_cast<std::size_t>(f));
+    const std::uint32_t bins = fb.num_bins();
+    if (bins < 2) return best;  // constant feature
+    thread_local Histogram hist;
+    hist.clear(bins);
+    const auto column = binned_.column(static_cast<std::size_t>(f));
+    for (const auto r : rows) {
+      const std::uint8_t b = column[r];
+      hist.sum_g[b] += gradients_[r];
+      hist.sum_h[b] += hessians_[r];
+      hist.count[b] += 1;
+    }
 #if LFO_DEBUG_CHECKS
-      // Every row of the leaf must land in exactly one bin; a mismatch
-      // means the binning index and the row partition have diverged.
-      std::uint64_t binned_rows = 0;
-      for (std::uint32_t b = 0; b < bins; ++b) binned_rows += hist_.count[b];
-      LFO_CHECK_EQ(binned_rows, rows.size())
-          << "histogram bin counts do not sum to leaf row count (feature "
-          << f << ")";
+    // Every row of the leaf must land in exactly one bin; a mismatch
+    // means the binning index and the row partition have diverged.
+    std::uint64_t binned_rows = 0;
+    for (std::uint32_t b = 0; b < bins; ++b) binned_rows += hist.count[b];
+    LFO_CHECK_EQ(binned_rows, rows.size())
+        << "histogram bin counts do not sum to leaf row count (feature "
+        << f << ")";
 #endif
-      double left_g = 0, left_h = 0;
-      std::uint32_t left_count = 0;
-      for (std::uint32_t b = 0; b + 1 < bins; ++b) {
-        left_g += hist_.sum_g[b];
-        left_h += hist_.sum_h[b];
-        left_count += hist_.count[b];
-        const auto right_count =
-            static_cast<std::uint32_t>(rows.size()) - left_count;
-        if (left_count < params_.min_data_in_leaf ||
-            right_count < params_.min_data_in_leaf) {
-          continue;
-        }
-        const double right_g = sum_g - left_g;
-        const double right_h = sum_h - left_h;
-        const double gain =
-            objective(left_g, left_h) + objective(right_g, right_h) -
-            parent_obj;
-        if (gain > best.gain) {
-          best.gain = gain;
-          best.feature = f;
-          best.bin = b;
-          best.left_g = left_g;
-          best.left_h = left_h;
-          best.right_g = right_g;
-          best.right_h = right_h;
-        }
+    double left_g = 0, left_h = 0;
+    std::uint32_t left_count = 0;
+    for (std::uint32_t b = 0; b + 1 < bins; ++b) {
+      left_g += hist.sum_g[b];
+      left_h += hist.sum_h[b];
+      left_count += hist.count[b];
+      const auto right_count =
+          static_cast<std::uint32_t>(rows.size()) - left_count;
+      if (left_count < params_.min_data_in_leaf ||
+          right_count < params_.min_data_in_leaf) {
+        continue;
       }
+      const double right_g = sum_g - left_g;
+      const double right_h = sum_h - left_h;
+      const double gain =
+          objective(left_g, left_h) + objective(right_g, right_h) -
+          parent_obj;
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = f;
+        best.bin = b;
+        best.left_g = left_g;
+        best.left_h = left_h;
+        best.right_g = right_g;
+        best.right_h = right_h;
+      }
+    }
+    return best;
+  }
+
+  SplitInfo find_best_split(std::span<const std::uint32_t> rows,
+                            std::span<const std::int32_t> features,
+                            double sum_g, double sum_h) {
+    // Each feature is scored independently (into its own slot), then the
+    // winner is reduced strictly in feature order — so the chosen split,
+    // including tie-breaks, is identical at any thread count.
+    per_feature_.resize(features.size());
+    const bool parallel =
+        pool_ != nullptr && features.size() > 1 &&
+        rows.size() * features.size() >= kParallelSplitMinWork;
+    if (parallel) {
+      pool_->parallel_for(features.size(), [&](std::size_t fi) {
+        per_feature_[fi] =
+            best_split_for_feature(features[fi], rows, sum_g, sum_h);
+      });
+    } else {
+      for (std::size_t fi = 0; fi < features.size(); ++fi) {
+        per_feature_[fi] =
+            best_split_for_feature(features[fi], rows, sum_g, sum_h);
+      }
+    }
+    SplitInfo best;
+    best.gain = params_.min_split_gain;
+    for (const auto& s : per_feature_) {
+      if (s.valid() && s.gain > best.gain) best = s;
     }
     return best;
   }
@@ -418,21 +477,40 @@ class Trainer {
     }
 
     // Update scores. Bagged-out rows still need their score refreshed so
-    // future gradients see every tree.
+    // future gradients see every tree. Each element is computed
+    // independently, so the parallel path is bitwise-deterministic.
     if (bagged) {
-      for (std::size_t r = 0; r < data_.num_rows(); ++r) {
+      run_elementwise(data_.num_rows(), [&](std::size_t r) {
         scores_[r] += tree.predict(data_.row(r));
-      }
+      });
     } else {
-      for (const auto r : rows) {
+      run_elementwise(rows.size(), [&](std::size_t i) {
+        const auto r = rows[i];
         scores_[r] += tree.predict(data_.row(r));
-      }
+      });
     }
     return tree;
   }
 
+  /// Run fn(i) for i in [0, n), on the pool when one is attached and the
+  /// job is big enough. fn must write only to index-i state.
+  template <typename F>
+  void run_elementwise(std::size_t n, F&& fn) {
+    if (pool_ != nullptr && n >= kParallelSplitMinWork) {
+      pool_->parallel_for(n, fn);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
+  }
+
+  /// Minimum rows*features of a leaf before the per-feature fan-out (or
+  /// an elementwise loop) is worth the pool's task overhead. Purely a
+  /// performance knob: results are identical either way.
+  static constexpr std::size_t kParallelSplitMinWork = 8192;
+
   const Dataset& data_;
   const Params& params_;
+  util::ThreadPool* pool_;
   BinnedDataset binned_;
   util::Rng rng_;
   double base_score_ = 0.0;
@@ -440,40 +518,59 @@ class Trainer {
   std::vector<double> gradients_;
   std::vector<double> hessians_;
   std::vector<std::uint8_t> is_valid_;  // early-stopping holdout mask
-  Histogram hist_;
+  std::vector<SplitInfo> per_feature_;  // slot per candidate feature
 };
 
 }  // namespace
 
-Model train(const Dataset& data, const Params& params, TrainLog* log) {
+Model train(const Dataset& data, const Params& params, TrainLog* log,
+            util::ThreadPool* pool) {
   if (data.num_rows() == 0) {
     throw std::invalid_argument("train: empty dataset");
   }
   if (params.num_leaves < 2) {
     throw std::invalid_argument("train: num_leaves must be >= 2");
   }
-  Trainer trainer(data, params);
+  // An externally supplied pool wins; otherwise spin one up when the
+  // caller asked for threads. The pool only affects wall-clock, never the
+  // trained model (deterministic per-feature reduction).
+  std::unique_ptr<util::ThreadPool> owned;
+  if (pool == nullptr && params.num_threads != 1) {
+    const auto threads =
+        params.num_threads != 0
+            ? params.num_threads
+            : std::max(1u, std::thread::hardware_concurrency());
+    if (threads > 1) {
+      owned = std::make_unique<util::ThreadPool>(threads);
+      pool = owned.get();
+    }
+  }
+  Trainer trainer(data, params, pool);
   return trainer.run(log);
 }
 
 double logloss(const Model& model, const Dataset& data) {
+  if (data.num_rows() == 0) return 0.0;
+  std::vector<double> proba(data.num_rows());
+  model.predict_proba_batch(data.features_matrix(), data.num_features(),
+                            proba);
   double loss = 0.0;
   for (std::size_t r = 0; r < data.num_rows(); ++r) {
-    const double p =
-        std::clamp(model.predict_proba(data.row(r)), 1e-15, 1.0 - 1e-15);
+    const double p = std::clamp(proba[r], 1e-15, 1.0 - 1e-15);
     const double y = data.label(r) > 0.5f ? 1.0 : 0.0;
     loss -= y * std::log(p) + (1.0 - y) * std::log(1.0 - p);
   }
-  return data.num_rows()
-             ? loss / static_cast<double>(data.num_rows())
-             : 0.0;
+  return loss / static_cast<double>(data.num_rows());
 }
 
 double accuracy(const Model& model, const Dataset& data, double cutoff) {
   if (data.num_rows() == 0) return 0.0;
+  std::vector<double> proba(data.num_rows());
+  model.predict_proba_batch(data.features_matrix(), data.num_features(),
+                            proba);
   std::size_t correct = 0;
   for (std::size_t r = 0; r < data.num_rows(); ++r) {
-    const bool pred = model.predict_proba(data.row(r)) >= cutoff;
+    const bool pred = proba[r] >= cutoff;
     const bool actual = data.label(r) > 0.5f;
     if (pred == actual) ++correct;
   }

@@ -10,6 +10,10 @@
 #include "gbdt/dataset.hpp"
 #include "gbdt/tree.hpp"
 
+namespace lfo::util {
+class ThreadPool;
+}
+
 namespace lfo::gbdt {
 
 /// Training objective.
@@ -33,6 +37,13 @@ struct Params {
   double bagging_fraction = 1.0;    ///< fraction of rows sampled per tree
   std::uint32_t max_bins = 64;
   std::uint64_t seed = 1;
+
+  /// Worker threads for histogram construction and per-feature split
+  /// finding. Training is seed-deterministic: a fixed seed yields a
+  /// bitwise-identical model at ANY thread count, because each feature's
+  /// histogram is built independently and the split reduction always runs
+  /// in feature order. 1 = serial; 0 = hardware concurrency.
+  std::uint32_t num_threads = 1;
 
   /// Early stopping: when > 0, a `validation_fraction` of rows is held
   /// out; training stops after this many rounds without validation-loss
@@ -63,6 +74,17 @@ class Model {
   /// Probability of the positive class (sigmoid of the raw score).
   double predict_proba(std::span<const float> features) const;
 
+  /// Batched prediction over a row-major matrix of `out.size()` rows with
+  /// `num_features` columns. Iterates tree-outer / row-inner so each
+  /// tree's node arrays stay hot in cache; scores are bitwise identical
+  /// to calling the scalar predictors row by row (same addition order).
+  void predict_raw_batch(std::span<const float> matrix,
+                         std::size_t num_features,
+                         std::span<double> out) const;
+  void predict_proba_batch(std::span<const float> matrix,
+                           std::size_t num_features,
+                           std::span<double> out) const;
+
   /// Per-feature count of internal-node splits across all trees — the
   /// feature-importance measure the paper plots in Fig 8.
   std::vector<std::uint64_t> split_counts(std::size_t num_features) const;
@@ -87,9 +109,12 @@ struct TrainLog {
   bool stopped_early = false;
 };
 
-/// Train a binary classifier with logistic loss.
+/// Train a binary classifier with logistic loss. When params.num_threads
+/// != 1 (or an external `pool` is supplied) histogram construction and
+/// split finding are parallelized per feature; the result is bitwise
+/// identical to a serial run with the same seed.
 Model train(const Dataset& data, const Params& params,
-            TrainLog* log = nullptr);
+            TrainLog* log = nullptr, util::ThreadPool* pool = nullptr);
 
 /// Numerically stable sigmoid.
 double sigmoid(double x);

@@ -77,10 +77,14 @@ Trace read_text_trace_file(const std::string& path) {
 }
 
 void write_text_trace(const Trace& trace, std::ostream& out) {
+  // max_digits10 so costs survive a write/read round trip bit-exactly
+  // (the default precision of 6 silently truncates byte-sized costs).
+  const auto saved_precision = out.precision(17);
   out << "# object size cost\n";
   for (const auto& r : trace.requests()) {
     out << r.object << ' ' << r.size << ' ' << r.cost << '\n';
   }
+  out.precision(saved_precision);
 }
 
 void write_text_trace_file(const Trace& trace, const std::string& path) {

@@ -34,6 +34,11 @@ void ThreadPool::shutdown() {
   join_cv_.notify_all();
 }
 
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;

@@ -40,6 +40,10 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Tasks queued but not yet picked up by a worker (observability; the
+  /// value may be stale by the time the caller reads it).
+  std::size_t pending() const;
+
   /// Stop accepting tasks, drain the queue, join all workers. Idempotent
   /// and safe to call concurrently with submit() from other threads.
   void shutdown();
@@ -70,7 +74,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;       // workers wait here for tasks/stop
   std::condition_variable join_cv_;  // late shutdown() callers wait here
   bool stop_ = false;     // guarded by mu_

@@ -1,0 +1,103 @@
+// Stress + observability tests of the asynchronous retraining pipeline.
+// Labeled "stress" so tools/run_static_checks.sh hammers it under
+// ThreadSanitizer: many small windows with a deep training queue and
+// nested GBDT parallelism maximize serve/train overlap.
+
+#include <gtest/gtest.h>
+
+#include "core/windowed.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace lfo;
+
+core::WindowedConfig small_window_config() {
+  core::WindowedConfig config;
+  config.lfo.set_cache_size(1 << 21);
+  config.lfo.features.num_gaps = 8;
+  config.lfo.gbdt.num_iterations = 5;
+  config.window_size = 500;
+  return config;
+}
+
+TEST(AsyncPipeline, StressManyWindowsDeepQueue) {
+  trace::GeneratorConfig gen;
+  gen.num_requests = 12000;  // 24 windows
+  gen.seed = 17;
+  gen.classes = {trace::web_class(1500)};
+  gen.drift.reshuffle_interval = 4000;
+  gen.drift.reshuffle_fraction = 0.3;
+  const auto trace = trace::generate_trace(gen);
+
+  auto config = small_window_config();
+  config.async = true;
+  config.swap_lag = 3;
+  config.train_threads = 4;
+  config.lfo.gbdt.num_threads = 2;  // nested parallelism inside each job
+  const auto result = core::run_windowed_lfo(trace, config);
+
+  ASSERT_EQ(result.windows.size(), 24u);
+  EXPECT_EQ(result.overall.requests, gen.num_requests);
+  for (const auto& w : result.windows) {
+    // The queue can hold at most the in-flight lag window's jobs.
+    EXPECT_LE(w.pipeline.queue_depth, config.swap_lag + 1);
+    EXPECT_GE(w.pipeline.overlap_seconds, 0.0);
+    EXPECT_GE(w.pipeline.wait_seconds, 0.0);
+    EXPECT_TRUE(w.pipeline.trained_async);
+    EXPECT_GT(w.train_seconds, 0.0) << "window " << w.index;
+  }
+  // Every activated model waited out exactly swap_lag windows.
+  for (std::size_t i = 0; i + config.swap_lag + 1 < result.windows.size();
+       ++i) {
+    EXPECT_EQ(result.windows[i].pipeline.training_lag_windows,
+              config.swap_lag)
+        << "window " << i;
+  }
+}
+
+TEST(AsyncPipeline, StressMatchesSyncUnderDrift) {
+  trace::GeneratorConfig gen;
+  gen.num_requests = 8000;
+  gen.seed = 29;
+  gen.classes = {trace::web_class(1000), trace::video_class(200)};
+  gen.drift.reshuffle_interval = 2500;
+  gen.drift.flash_crowd_probability = 1.0;
+  gen.drift.flash_crowd_duration = 1500;
+  const auto trace = trace::generate_trace(gen);
+
+  auto config = small_window_config();
+  config.swap_lag = 2;
+  config.async = false;
+  const auto sync = core::run_windowed_lfo(trace, config);
+  config.async = true;
+  config.train_threads = 4;
+  const auto async = core::run_windowed_lfo(trace, config);
+  EXPECT_TRUE(core::same_decisions(sync, async));
+}
+
+TEST(AsyncPipeline, SingleWindowTrace) {
+  // Edge: trace shorter than one window; the lone job trains but its
+  // model never activates.
+  const auto trace = trace::generate_zipf_trace(300, 50, 0.8, 3);
+  auto config = small_window_config();
+  config.async = true;
+  config.swap_lag = 2;
+  config.train_threads = 2;
+  const auto result = core::run_windowed_lfo(trace, config);
+  ASSERT_EQ(result.windows.size(), 1u);
+  EXPECT_TRUE(result.windows[0].pipeline.trained_async);
+  EXPECT_GT(result.windows[0].train_seconds, 0.0);
+  EXPECT_EQ(result.windows[0].pipeline.training_lag_windows, 0u);
+}
+
+TEST(AsyncPipeline, EmptyTrace) {
+  const trace::Trace empty;
+  auto config = small_window_config();
+  config.async = true;
+  const auto result = core::run_windowed_lfo(empty, config);
+  EXPECT_TRUE(result.windows.empty());
+  EXPECT_EQ(result.overall.requests, 0u);
+}
+
+}  // namespace

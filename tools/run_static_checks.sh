@@ -7,12 +7,16 @@
 #   1. asan-ubsan preset: configure, build the test suite, run ctest under
 #      AddressSanitizer + UndefinedBehaviorSanitizer (LFO_DCHECKs on).
 #   2. tsan preset: configure, build, run the "stress" ctest label
-#      (ThreadPool + parallel sweep) under ThreadSanitizer.
+#      (ThreadPool, parallel sweep, async retraining pipeline) under
+#      ThreadSanitizer.
 #   3. clang-tidy over src/ via the asan build's compile_commands.json
 #      with the repo .clang-tidy config (skipped with a warning when no
 #      clang-tidy binary is installed, e.g. gcc-only containers).
 #
 # Exits non-zero on the first failing stage.
+#
+# This is the slow gate; the fast development gate is the tier1 label on
+# a plain build:  ctest --test-dir build -L tier1
 
 set -euo pipefail
 
@@ -45,7 +49,8 @@ fi
 if [[ "$SKIP_TSAN" -eq 0 ]]; then
   banner "tsan: configure + build stress tests"
   cmake --preset tsan
-  cmake --build build-tsan --target test_stress_threads -j "$JOBS"
+  cmake --build build-tsan --target test_stress_threads \
+        --target test_async_pipeline -j "$JOBS"
   banner "tsan: ctest -L stress"
   ctest --test-dir build-tsan -L stress --output-on-failure -j "$JOBS"
 fi
