@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace lfo::bench {
@@ -14,20 +15,20 @@ Args::Args(int argc, char** argv,
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      std::cerr << "unexpected argument: " << arg << '\n';
+      util::log_error("unexpected argument: ", arg);
       std::exit(2);
     }
     const auto eq = arg.find('=');
     if (eq == std::string_view::npos) {
-      std::cerr << "expected --key=value: " << arg << '\n';
+      util::log_error("expected --key=value: ", arg);
       std::exit(2);
     }
     const std::string key(arg.substr(2, eq - 2));
     const auto it = values_.find(key);
     if (it == values_.end()) {
-      std::cerr << "unknown option --" << key << "; known options:";
-      for (const auto& [k, v] : values_) std::cerr << " --" << k;
-      std::cerr << '\n';
+      std::string known;
+      for (const auto& [k, v] : values_) known += " --" + k;
+      util::log_error("unknown option --", key, "; known options:", known);
       std::exit(2);
     }
     it->second = std::string(arg.substr(eq + 1));
@@ -37,7 +38,7 @@ Args::Args(int argc, char** argv,
 std::uint64_t Args::get_u64(const std::string& key) const {
   const auto v = util::parse_uint(values_.at(key));
   if (!v) {
-    std::cerr << "option --" << key << " is not an integer\n";
+    util::log_error("option --", key, " is not an integer");
     std::exit(2);
   }
   return *v;
@@ -46,7 +47,7 @@ std::uint64_t Args::get_u64(const std::string& key) const {
 double Args::get_double(const std::string& key) const {
   const auto v = util::parse_double(values_.at(key));
   if (!v) {
-    std::cerr << "option --" << key << " is not a number\n";
+    util::log_error("option --", key, " is not a number");
     std::exit(2);
   }
   return *v;

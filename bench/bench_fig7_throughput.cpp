@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -18,6 +19,9 @@
 #include "bench_common.hpp"
 #include "core/windowed.hpp"
 #include "features/dataset_builder.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "util/csv.hpp"
 
 using namespace lfo;
@@ -76,7 +80,9 @@ int main(int argc, char** argv) {
                                 {"pipeline-requests", "40000"},
                                 {"pipeline-window", "5000"},
                                 {"swap-lag", "1"},
-                                {"train-threads", "0"}});
+                                {"train-threads", "0"},
+                                {"obs-repeats", "2"},
+                                {"obs-out-prefix", ""}});
   std::cout << "# Figure 7: prediction throughput vs threads\n";
   args.print(std::cout);
 
@@ -178,5 +184,55 @@ int main(int argc, char** argv) {
                                                                 : "NO (bug)")
             << "; expected >=2x speedup on >=4 cores (training hidden "
                "behind serving)\n";
+
+  // --- Observability overhead: the same async pipeline with the whole
+  // obs layer runtime-disabled vs fully enabled (metrics + tracing).
+  // Both modes must make identical decisions, and the enabled run must
+  // stay within a few percent of the disabled one (acceptance: <5%).
+  const auto obs_repeats = std::max<std::uint64_t>(1, args.get_u64("obs-repeats"));
+  const auto timed_obs_run = [&](bool enabled) {
+    obs::set_metrics_enabled(enabled);
+    obs::set_tracing_enabled(enabled);
+    double best = 0.0;
+    core::WindowedResult result;
+    for (std::uint64_t rep = 0; rep < obs_repeats; ++rep) {
+      // Fresh span buffer per repeat so the trace stays bounded; the
+      // registry just keeps accumulating (counters are monotonic anyway).
+      obs::clear_trace();
+      auto [secs, r] =
+          timed_pipeline(pipe_trace, wconfig, /*async=*/true, train_threads);
+      if (rep == 0 || secs < best) best = secs;
+      result = std::move(r);
+    }
+    return std::pair{best, std::move(result)};
+  };
+  const auto [off_secs, off_result] = timed_obs_run(false);
+  const auto [on_secs, on_result] = timed_obs_run(true);
+  const double overhead_pct = (on_secs / off_secs - 1.0) * 100.0;
+
+  std::cout << "\n# Observability overhead (async pipeline, best of "
+            << obs_repeats << ")\n";
+  util::CsvWriter obs_csv(std::cout);
+  obs_csv.header({"obs_mode", "seconds", "overhead_pct"});
+  obs_csv.field("off").field(off_secs).field(0.0).end_row();
+  obs_csv.field("on").field(on_secs).field(overhead_pct).end_row();
+  std::cout << "# identical decisions (obs on vs off): "
+            << (core::same_decisions(off_result, on_result) ? "yes"
+                                                            : "NO (bug)")
+            << "; recorded spans: " << obs::recorded_span_count()
+            << "; expected overhead well under 5%\n";
+
+  const auto prefix = args.get_string("obs-out-prefix");
+  if (!prefix.empty()) {
+    std::ofstream prom(prefix + ".prom");
+    obs::write_prometheus_text(prom);
+    std::ofstream jsonl(prefix + ".jsonl");
+    obs::write_jsonl_snapshot(jsonl, "bench_fig7");
+    std::ofstream trace_os(prefix + ".trace.json");
+    obs::write_chrome_trace(trace_os);
+    std::cout << "# wrote " << prefix << ".prom, " << prefix << ".jsonl, "
+              << prefix << ".trace.json (load in chrome://tracing)\n";
+  }
+  obs::set_tracing_enabled(false);
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace lfo::core {
 
 LfoCache::LfoCache(std::uint64_t capacity,
@@ -98,11 +100,15 @@ void LfoCache::update_rank(trace::ObjectId object, double rank) {
 }
 
 void LfoCache::on_hit(const trace::Request& request) {
+  LFO_COUNTER_INC("lfo_cache_hits_total");
   const bool lru_mode =
       options_.eviction == LfoPolicyOptions::EvictionRank::kLru;
   if (options_.rescore_on_hit || lru_mode) {
     const double p = lru_mode ? 0.0 : predict(request);
-    if (!lru_mode && p < cutoff_) ++demoted_hits_;
+    if (!lru_mode && p < cutoff_) {
+      ++demoted_hits_;
+      LFO_COUNTER_INC("lfo_cache_demoted_hits_total");
+    }
     // Re-rank; the hit object may now be the eviction candidate (paper:
     // a hit can lead to the eviction of the hit object).
     update_rank(request.object, rank_of(request, p));
@@ -112,13 +118,16 @@ void LfoCache::on_hit(const trace::Request& request) {
 }
 
 void LfoCache::on_miss(const trace::Request& request) {
+  LFO_COUNTER_INC("lfo_cache_misses_total");
   const double p = predict(request);
   extractor_.observe(request, clock());
   if (request.size > capacity()) return;
   if (p < cutoff_) {
     ++bypassed_;
+    LFO_COUNTER_INC("lfo_cache_bypassed_total");
     return;
   }
+  LFO_COUNTER_INC("lfo_cache_admitted_total");
   while (free_bytes() < request.size) evict_one();
   const double rank = rank_of(request, p);
   auto [it, inserted] = entries_.emplace(
@@ -129,6 +138,7 @@ void LfoCache::on_miss(const trace::Request& request) {
 }
 
 void LfoCache::evict_one() {
+  LFO_COUNTER_INC("lfo_cache_evictions_total");
   const auto victim = order_.begin();
   const auto object = victim->second;
   sub_used(entries_[object].size);

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/trace_span.hpp"
+
 namespace lfo::core {
 
 namespace {
@@ -99,6 +101,9 @@ TrainResult train_on_window(std::span<const trace::Request> window,
   build.cache_size = config.cache_size;
   const auto dataset = features::build_dataset(window, result.opt, build);
   result.num_samples = dataset.num_rows();
+  result.feature_summary = std::make_shared<const obs::FeatureSummary>(
+      obs::summarize_rows(dataset.features_matrix(),
+                          dataset.num_features()));
 
   t0 = Clock::now();
   auto booster = gbdt::train(dataset, config.gbdt);
@@ -112,6 +117,7 @@ TrainResult train_on_window(std::span<const trace::Request> window,
 util::BinaryConfusion evaluate_predictions(
     const LfoModel& model, std::span<const trace::Request> window,
     const opt::OptDecisions& opt, std::uint64_t cache_size, double cutoff) {
+  LFO_TRACE_SPAN("evaluate_predictions");
   if (opt.cached.size() != window.size()) {
     throw std::invalid_argument(
         "evaluate_predictions: decisions/window mismatch");

@@ -10,6 +10,7 @@
 #include "features/dataset_builder.hpp"
 #include "features/features.hpp"
 #include "gbdt/gbdt.hpp"
+#include "obs/model_health.hpp"
 #include "opt/opt.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
@@ -84,6 +85,9 @@ struct TrainResult {
   double opt_seconds = 0.0;
   double train_seconds = 0.0;
   std::size_t num_samples = 0;
+  /// Per-feature mean/stddev of the training matrix — the baseline the
+  /// model-health monitor compares later windows against for drift.
+  std::shared_ptr<const obs::FeatureSummary> feature_summary;
 };
 
 /// Train an LFO model on one window of requests (paper Fig 2, left side):

@@ -4,10 +4,14 @@
 #include <chrono>
 #include <deque>
 #include <future>
+#include <memory>
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lfo::core {
@@ -20,11 +24,34 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
-/// Serve one window through the cache and fill the report's hit ratios.
+/// Serve one window through the cache and fill the report's hit ratios
+/// plus the serve-side model-health fields (admission rate, deltas vs
+/// the previous window's report when one exists).
 void serve_window(LfoCache& cache, std::span<const trace::Request> window,
-                  WindowReport& report) {
+                  WindowReport& report, const WindowReport* previous) {
+  LFO_TRACE_SPAN("serve_window");
   const auto before = cache.stats();
-  for (const auto& r : window) cache.access(r);
+  const auto bypassed_before = cache.bypassed();
+#if LFO_METRICS_ENABLED
+  if (obs::metrics_enabled()) {
+    // Sampled per-request latency: clock reads on every 64th request
+    // keep the histogram meaningful at < 1% timing overhead.
+    static obs::LatencyHistogram& request_hist =
+        obs::MetricsRegistry::instance().histogram("lfo_request_seconds");
+    std::size_t i = 0;
+    for (const auto& r : window) {
+      if ((i++ & 63u) == 0u) {
+        obs::ScopedTimer timer(request_hist);
+        cache.access(r);
+      } else {
+        cache.access(r);
+      }
+    }
+  } else
+#endif
+  {
+    for (const auto& r : window) cache.access(r);
+  }
   const auto after = cache.stats();
   const auto bytes = after.bytes_requested - before.bytes_requested;
   const auto reqs = after.requests - before.requests;
@@ -35,53 +62,151 @@ void serve_window(LfoCache& cache, std::span<const trace::Request> window,
   report.ohr = reqs ? static_cast<double>(after.hits - before.hits) /
                           static_cast<double>(reqs)
                     : 0.0;
+
+  auto& health = report.health;
+  const auto misses = reqs - (after.hits - before.hits);
+  const auto bypassed = cache.bypassed() - bypassed_before;
+  if (misses > 0) {
+    health.admission_rate = 1.0 - static_cast<double>(bypassed) /
+                                      static_cast<double>(misses);
+  }
+  if (previous != nullptr) {
+    health.bhr_delta = report.bhr - previous->bhr;
+    if (health.admission_rate >= 0.0 &&
+        previous->health.admission_rate >= 0.0) {
+      health.admission_rate_delta =
+          health.admission_rate - previous->health.admission_rate;
+    }
+  }
 }
 
 /// Everything one training task hands back to the pipeline. The
 /// prediction error of the model that served the window is evaluated
 /// inside the task too — it needs the freshly derived OPT labels, and
-/// keeping it off the serving thread is the point of the exercise.
+/// keeping it off the serving thread is the point of the exercise. The
+/// same applies to the model-health confusion and drift scores.
 struct TrainedWindow {
   TrainResult result;
   double prediction_error = -1.0;
+  util::BinaryConfusion confusion;  ///< only meaningful when `evaluated`
+  bool evaluated = false;
+  obs::DriftScore drift;  ///< only meaningful when `drift_valid`
+  bool drift_valid = false;
   Clock::time_point started;
   Clock::time_point finished;
 };
 
-TrainedWindow train_window_task(std::span<const trace::Request> window,
-                                const LfoConfig& config,
-                                std::shared_ptr<const LfoModel> serving) {
+TrainedWindow train_window_task(
+    std::span<const trace::Request> window, const LfoConfig& config,
+    std::shared_ptr<const LfoModel> serving,
+    std::shared_ptr<const obs::FeatureSummary> serving_summary) {
+  LFO_TRACE_SPAN("train_window");
   TrainedWindow out;
   out.started = Clock::now();
   out.result = train_on_window(window, config);
   if (serving) {
-    const auto confusion =
+    out.confusion =
         evaluate_predictions(*serving, window, out.result.opt,
                              config.cache_size, config.cutoff);
-    out.prediction_error = 1.0 - confusion.accuracy();
+    out.evaluated = true;
+    out.prediction_error = 1.0 - out.confusion.accuracy();
+  }
+  if (serving_summary && out.result.feature_summary) {
+    out.drift =
+        obs::feature_drift(*serving_summary, *out.result.feature_summary);
+    out.drift_valid = true;
   }
   out.finished = Clock::now();
   return out;
 }
 
-/// One enqueued (or, in sync mode, already finished) training job.
-struct TrainJob {
-  std::future<TrainedWindow> trained;
-  std::size_t report_index = 0;
-  std::size_t window_index = 0;
-};
+/// Copy the training task's diagnostics into the window's report.
+void fill_training_report(WindowReport& report, const TrainedWindow& trained,
+                          double drift_warn_threshold) {
+  report.train_accuracy = trained.result.train_accuracy;
+  report.opt_seconds = trained.result.opt_seconds;
+  report.train_seconds = trained.result.train_seconds;
+  report.opt_bhr = trained.result.opt.bhr;
+  report.opt_ohr = trained.result.opt.ohr;
+  report.prediction_error = trained.prediction_error;
+
+  auto& health = report.health;
+  if (trained.evaluated) {
+    health.decision_accuracy = trained.confusion.accuracy();
+    health.false_positive_share = trained.confusion.false_positive_share();
+    health.false_negative_share = trained.confusion.false_negative_share();
+  }
+  if (trained.drift_valid) {
+    health.feature_drift = trained.drift.mean_score;
+    health.max_feature_drift = trained.drift.max_score;
+    health.drift_worst_feature = trained.drift.worst_feature;
+    if (drift_warn_threshold > 0.0 &&
+        health.feature_drift >= drift_warn_threshold) {
+      health.drift_warning = true;
+      util::log_warn("model-health: window ", report.index,
+                     " feature drift ", health.feature_drift,
+                     " (max ", health.max_feature_drift, " at feature ",
+                     health.drift_worst_feature,
+                     ") crossed the warn threshold ", drift_warn_threshold);
+    }
+  }
+}
+
+/// A window's report is complete: publish it to the metrics registry and
+/// the user's hook. Runs on the serving thread; never alters decisions.
+void emit_report(const WindowedConfig& config, const WindowReport& report) {
+  LFO_COUNTER_INC("lfo_windows_total");
+  LFO_GAUGE_SET("lfo_window_bhr", report.bhr);
+  LFO_GAUGE_SET("lfo_window_ohr", report.ohr);
+  if (report.health.decision_accuracy >= 0.0) {
+    LFO_GAUGE_SET("lfo_model_decision_accuracy",
+                  report.health.decision_accuracy);
+  }
+  if (report.health.feature_drift >= 0.0) {
+    LFO_GAUGE_SET("lfo_model_feature_drift", report.health.feature_drift);
+  }
+  if (report.health.admission_rate >= 0.0) {
+    LFO_GAUGE_SET("lfo_admission_rate", report.health.admission_rate);
+  }
+  if (report.health.drift_warning) {
+    LFO_COUNTER_INC("lfo_drift_warnings_total");
+  }
+  if (report.train_seconds > 0.0) {
+    LFO_HISTOGRAM_OBSERVE_SECONDS("lfo_opt_seconds", report.opt_seconds);
+    LFO_HISTOGRAM_OBSERVE_SECONDS("lfo_train_seconds",
+                                  report.train_seconds);
+  }
+  if (config.window_hook) config.window_hook(report);
+}
+
+/// Swap a freshly activated model into the cache (spanned: with
+/// rescore_on_swap this re-ranks every cached entry).
+void swap_model_into(LfoCache& cache,
+                     std::shared_ptr<const LfoModel> model) {
+  LFO_TRACE_SPAN("model_swap");
+  LFO_COUNTER_INC("lfo_models_swapped_total");
+  cache.swap_model(std::move(model));
+}
 
 /// Synchronous reference pipeline: OPT + train run inline between
 /// windows. This is the schedule the async path must reproduce exactly.
 WindowedResult run_sync(const trace::Trace& trace,
                         const WindowedConfig& config) {
+  LFO_TRACE_THREAD_LABEL("serve");
   WindowedResult result;
   LfoCache cache(config.lfo.cache_size, config.lfo.features,
                  config.lfo.cutoff);
-  // Models waiting out their activation lag (front = oldest), paired
-  // with the index of the window they were trained on.
-  std::deque<std::pair<std::shared_ptr<const LfoModel>, std::size_t>>
-      pending;
+  // Models waiting out their activation lag (front = oldest), with the
+  // index of the window they were trained on and that window's feature
+  // summary (the drift baseline once the model starts serving).
+  struct PendingModel {
+    std::shared_ptr<const LfoModel> model;
+    std::shared_ptr<const obs::FeatureSummary> summary;
+    std::size_t trained_on = 0;
+  };
+  std::deque<PendingModel> pending;
+  // Summary of the window the *currently serving* model was trained on.
+  std::shared_ptr<const obs::FeatureSummary> serving_summary;
 
   std::size_t window_index = 0;
   for (std::size_t begin = 0; begin < trace.size();
@@ -93,29 +218,30 @@ WindowedResult run_sync(const trace::Trace& trace,
     report.length = window.size();
 
     // Serve the window with the model trained on the previous one.
-    serve_window(cache, window, report);
+    const WindowReport* previous =
+        result.windows.empty() ? nullptr : &result.windows.back();
+    serve_window(cache, window, report, previous);
 
     // Train on the window just recorded (unless retraining is disabled
     // and a model already serves).
     if (config.retrain || !cache.has_model()) {
-      const auto trained =
-          train_window_task(window, config.lfo, cache.model());
-      report.train_accuracy = trained.result.train_accuracy;
-      report.opt_seconds = trained.result.opt_seconds;
-      report.train_seconds = trained.result.train_seconds;
-      report.opt_bhr = trained.result.opt.bhr;
-      report.opt_ohr = trained.result.opt.ohr;
-      report.prediction_error = trained.prediction_error;
-      pending.emplace_back(trained.result.model, window_index);
+      LFO_COUNTER_INC("lfo_train_jobs_total");
+      const auto trained = train_window_task(window, config.lfo,
+                                             cache.model(), serving_summary);
+      fill_training_report(report, trained, config.drift_warn_threshold);
+      pending.push_back({trained.result.model,
+                         trained.result.feature_summary, window_index});
     }
     result.windows.push_back(report);
     if (pending.size() > config.swap_lag) {
-      auto [model, trained_on] = std::move(pending.front());
+      PendingModel next = std::move(pending.front());
       pending.pop_front();
-      result.windows[trained_on].pipeline.training_lag_windows =
-          static_cast<std::uint32_t>(window_index - trained_on);
-      cache.swap_model(std::move(model));
+      result.windows[next.trained_on].pipeline.training_lag_windows =
+          static_cast<std::uint32_t>(window_index - next.trained_on);
+      serving_summary = std::move(next.summary);
+      swap_model_into(cache, std::move(next.model));
     }
+    emit_report(config, result.windows[window_index]);
     ++window_index;
   }
 
@@ -125,6 +251,13 @@ WindowedResult run_sync(const trace::Trace& trace,
   return result;
 }
 
+/// One enqueued (or, in sync mode, already finished) training job.
+struct TrainJob {
+  std::future<TrainedWindow> trained;
+  std::size_t report_index = 0;
+  std::size_t window_index = 0;
+};
+
 /// Asynchronous pipeline: while window t is served by the current model,
 /// earlier windows' OPT derivation, dataset build and GBDT fit run on a
 /// thread pool. Jobs are consumed strictly FIFO at exactly the sync
@@ -133,6 +266,7 @@ WindowedResult run_sync(const trace::Trace& trace,
 /// one full window of serving time to overlap with.
 WindowedResult run_async(const trace::Trace& trace,
                          const WindowedConfig& config) {
+  LFO_TRACE_THREAD_LABEL("serve");
   WindowedResult result;
   LfoCache cache(config.lfo.cache_size, config.lfo.features,
                  config.lfo.cutoff);
@@ -142,21 +276,19 @@ WindowedResult run_async(const trace::Trace& trace,
           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   util::ThreadPool pool(pool_size);
   std::deque<TrainJob> jobs;
+  std::shared_ptr<const obs::FeatureSummary> serving_summary;
 
   // Block on a job's result, fill its window's training diagnostics and
-  // return the trained model.
-  const auto finish_job =
-      [&result](TrainJob job) -> std::shared_ptr<const LfoModel> {
+  // model health, and return the trained window (model + summary).
+  const auto finish_job = [&result, &config](TrainJob job) -> TrainedWindow {
     const auto wait_start = Clock::now();
-    TrainedWindow trained = job.trained.get();
+    TrainedWindow trained = [&] {
+      LFO_TRACE_SPAN("swap_wait");
+      return job.trained.get();
+    }();
     const auto wait_end = Clock::now();
     auto& report = result.windows[job.report_index];
-    report.train_accuracy = trained.result.train_accuracy;
-    report.opt_seconds = trained.result.opt_seconds;
-    report.train_seconds = trained.result.train_seconds;
-    report.opt_bhr = trained.result.opt.bhr;
-    report.opt_ohr = trained.result.opt.ohr;
-    report.prediction_error = trained.prediction_error;
+    fill_training_report(report, trained, config.drift_warn_threshold);
     report.pipeline.trained_async = true;
     report.pipeline.wait_seconds = seconds_between(wait_start, wait_end);
     // Time the task ran before the pipeline had to block on it — the
@@ -164,7 +296,7 @@ WindowedResult run_async(const trace::Trace& trace,
     const auto ran_until = std::min(trained.finished, wait_start);
     report.pipeline.overlap_seconds =
         std::max(0.0, seconds_between(trained.started, ran_until));
-    return trained.result.model;
+    return trained;
   };
 
   std::size_t window_index = 0;
@@ -177,31 +309,42 @@ WindowedResult run_async(const trace::Trace& trace,
     report.length = window.size();
     report.pipeline.queue_depth =
         static_cast<std::uint32_t>(jobs.size());
+    LFO_GAUGE_SET("lfo_train_queue_depth", jobs.size());
 
-    serve_window(cache, window, report);
+    const WindowReport* previous =
+        result.windows.empty() ? nullptr : &result.windows.back();
+    serve_window(cache, window, report, previous);
     result.windows.push_back(report);
 
     // cache.has_model() flips at the same swap points as in run_sync, so
     // this trains-or-not decision matches the sync schedule exactly.
     if (config.retrain || !cache.has_model()) {
+      LFO_COUNTER_INC("lfo_train_jobs_total");
       TrainJob job;
       job.report_index = result.windows.size() - 1;
       job.window_index = window_index;
-      job.trained = pool.submit(
-          [window, lfo = config.lfo, serving = cache.model()] {
-            return train_window_task(window, lfo, serving);
-          });
+      job.trained = pool.submit([window, lfo = config.lfo,
+                                 serving = cache.model(),
+                                 baseline = serving_summary] {
+        LFO_TRACE_THREAD_LABEL("train");
+        return train_window_task(window, lfo, serving, baseline);
+      });
       jobs.push_back(std::move(job));
+    } else {
+      // No training diagnostics will ever arrive: complete immediately.
+      emit_report(config, result.windows.back());
     }
     if (jobs.size() > config.swap_lag) {
       TrainJob job = std::move(jobs.front());
       jobs.pop_front();
       const auto trained_on = job.window_index;
       const auto report_index = job.report_index;
-      auto model = finish_job(std::move(job));
+      TrainedWindow trained = finish_job(std::move(job));
       result.windows[report_index].pipeline.training_lag_windows =
           static_cast<std::uint32_t>(window_index - trained_on);
-      cache.swap_model(std::move(model));
+      serving_summary = trained.result.feature_summary;
+      swap_model_into(cache, std::move(trained.result.model));
+      emit_report(config, result.windows[report_index]);
     }
     ++window_index;
   }
@@ -210,8 +353,10 @@ WindowedResult run_async(const trace::Trace& trace,
   // pipeline still records their training diagnostics, so the async run
   // must too — it just never swaps them in.
   while (!jobs.empty()) {
+    const auto report_index = jobs.front().report_index;
     finish_job(std::move(jobs.front()));
     jobs.pop_front();
+    emit_report(config, result.windows[report_index]);
   }
   LFO_CHECK_EQ(pool.pending(), 0u)
       << "async pipeline drained but tasks remain queued";
@@ -247,6 +392,18 @@ bool same_decisions(const WindowedResult& a, const WindowedResult& b) {
         wa.prediction_error != wb.prediction_error ||
         wa.train_accuracy != wb.train_accuracy ||
         wa.opt_bhr != wb.opt_bhr || wa.opt_ohr != wb.opt_ohr) {
+      return false;
+    }
+    // The model-health monitor is deterministic too: it derives from
+    // the trace and the decision schedule only, so any divergence
+    // between sync/async or across thread counts is a bug.
+    const auto& ha = wa.health;
+    const auto& hb = wb.health;
+    if (ha.decision_accuracy != hb.decision_accuracy ||
+        ha.feature_drift != hb.feature_drift ||
+        ha.admission_rate != hb.admission_rate ||
+        ha.bhr_delta != hb.bhr_delta ||
+        ha.drift_warning != hb.drift_warning) {
       return false;
     }
   }

@@ -2,14 +2,18 @@
 #define LFO_CORE_WINDOWED_HPP
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "cache/policy.hpp"
 #include "core/lfo_cache.hpp"
 #include "core/lfo_model.hpp"
+#include "obs/model_health.hpp"
 #include "trace/trace.hpp"
 
 namespace lfo::core {
+
+struct WindowReport;
 
 /// Configuration of the sliding-window pipeline (paper Fig 2).
 struct WindowedConfig {
@@ -35,6 +39,22 @@ struct WindowedConfig {
   /// Size of the background training pool in async mode. 0 = hardware
   /// concurrency. Does not affect results, only overlap.
   std::size_t train_threads = 0;
+  /// Model-health monitor: warn (util::log_warn + WindowReport
+  /// drift_warning) when a window's mean feature-drift score vs the
+  /// serving model's training window crosses this value. Calibrated on
+  /// the golden traces: the stationary web scenario stays under 0.02
+  /// while the flash-crowd scenario spikes past 0.22, so 0.1 splits
+  /// them with ~5x margin on the quiet side (see EXPERIMENTS.md
+  /// "Observability"). <= 0 disables the warning.
+  double drift_warn_threshold = 0.1;
+  /// Per-window emit hook, invoked from the serving thread once a
+  /// window's report is complete (serving + training diagnostics +
+  /// model health). In async mode completion follows the training
+  /// pipeline, so invocation order can differ from window order, and
+  /// pipeline.training_lag_windows of a lagged window may still be
+  /// pending. Must not throw; reading the report cannot change caching
+  /// decisions.
+  std::function<void(const WindowReport&)> window_hook;
 };
 
 /// Observability of the (a)synchronous retraining pipeline, per window.
@@ -78,6 +98,11 @@ struct WindowReport {
   double opt_ohr = 0.0;
   // Retraining-pipeline observability (wall-clock only).
   PipelineStats pipeline;
+  // Online model-health monitor: serving-model accuracy vs OPT, feature
+  // drift vs the serving model's training window, admission-rate and
+  // BHR deltas (see obs::ModelHealth). Deterministic diagnostics; they
+  // never feed back into decisions.
+  obs::ModelHealth health;
 };
 
 /// Result of replaying a trace through the windowed pipeline.

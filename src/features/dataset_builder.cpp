@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "util/rng.hpp"
 
 namespace lfo::features {
@@ -11,6 +13,8 @@ namespace lfo::features {
 gbdt::Dataset build_dataset(std::span<const trace::Request> reqs,
                             const opt::OptDecisions& decisions,
                             const DatasetBuildOptions& options) {
+  LFO_TRACE_SPAN("dataset_build");
+  LFO_COUNTER_ADD("lfo_dataset_rows_total", reqs.size());
   if (decisions.cached.size() != reqs.size()) {
     throw std::invalid_argument(
         "build_dataset: decisions do not match window");

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -191,11 +193,14 @@ class Trainer {
   }
 
   Model run(TrainLog* log) {
+    LFO_TRACE_SPAN("gbdt_train");
     std::vector<Tree> trees;
     trees.reserve(params_.num_iterations);
     double best_valid = std::numeric_limits<double>::infinity();
     std::uint32_t best_iteration = 0;
     for (std::uint32_t iter = 0; iter < params_.num_iterations; ++iter) {
+      LFO_TRACE_SPAN("boost_round");
+      LFO_COUNTER_INC("lfo_gbdt_boost_rounds_total");
       compute_gradients();
       trees.push_back(grow_tree());
       if (log) log->train_logloss.push_back(current_logloss(/*valid=*/false));

@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "util/check.hpp"
 
 namespace lfo::mcmf {
@@ -124,6 +126,8 @@ void verify_reduced_costs([[maybe_unused]] const Graph& g,
 
 SolveResult solve_min_cost_flow(Graph& graph, std::span<const Flow> supplies,
                                 Algorithm algorithm) {
+  LFO_TRACE_SPAN("mcmf_solve");
+  LFO_COUNTER_INC("lfo_mcmf_solves_total");
   if (static_cast<NodeId>(supplies.size()) != graph.num_nodes()) {
     throw std::invalid_argument(
         "solve_min_cost_flow: supplies size != num_nodes");
@@ -202,6 +206,7 @@ SolveResult solve_min_cost_flow(Graph& graph, std::span<const Flow> supplies,
     routed += bottleneck;
   }
 
+  LFO_COUNTER_ADD("lfo_mcmf_augmentations_total", result.augmentations);
   result.feasible = routed == total_supply;
   result.total_flow = routed;
   // Cost over the caller's edges only (super edges have zero cost anyway,

@@ -1,0 +1,68 @@
+#include "obs/model_health.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lfo::obs {
+
+FeatureSummary summarize_rows(std::span<const float> matrix,
+                              std::size_t num_features) {
+  FeatureSummary summary;
+  if (num_features == 0) return summary;
+  LFO_CHECK_EQ(matrix.size() % num_features, 0u)
+      << "summarize_rows: matrix size not a multiple of num_features";
+  const std::size_t rows = matrix.size() / num_features;
+  summary.rows = rows;
+  summary.mean.assign(num_features, 0.0);
+  summary.stddev.assign(num_features, 0.0);
+  if (rows == 0) return summary;
+
+  // Two-pass mean/variance: one extra sweep over data that is already
+  // resident, numerically robust for the huge-magnitude gap features.
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = matrix.data() + r * num_features;
+    for (std::size_t j = 0; j < num_features; ++j) {
+      summary.mean[j] += static_cast<double>(row[j]);
+    }
+  }
+  for (std::size_t j = 0; j < num_features; ++j) {
+    summary.mean[j] /= static_cast<double>(rows);
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = matrix.data() + r * num_features;
+    for (std::size_t j = 0; j < num_features; ++j) {
+      const double d = static_cast<double>(row[j]) - summary.mean[j];
+      summary.stddev[j] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < num_features; ++j) {
+    summary.stddev[j] = std::sqrt(summary.stddev[j] /
+                                  static_cast<double>(rows));
+  }
+  return summary;
+}
+
+DriftScore feature_drift(const FeatureSummary& baseline,
+                         const FeatureSummary& current) {
+  DriftScore score;
+  const std::size_t n = std::min(baseline.mean.size(), current.mean.size());
+  if (n == 0 || baseline.rows == 0 || current.rows == 0) return score;
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double denom =
+        baseline.stddev[j] + 1e-3 * std::abs(baseline.mean[j]) + 1e-12;
+    const double shift = std::abs(current.mean[j] - baseline.mean[j]);
+    const double spread = std::abs(current.stddev[j] - baseline.stddev[j]);
+    const double s = (shift + spread) / denom;
+    total += s;
+    if (s > score.max_score) {
+      score.max_score = s;
+      score.worst_feature = j;
+    }
+  }
+  score.mean_score = total / static_cast<double>(n);
+  return score;
+}
+
+}  // namespace lfo::obs

@@ -1,0 +1,69 @@
+#ifndef LFO_OBS_MODEL_HEALTH_HPP
+#define LFO_OBS_MODEL_HEALTH_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lfo::obs {
+
+/// Per-feature mean/stddev of one training window's feature matrix —
+/// the fingerprint a later window is compared against to detect drift.
+struct FeatureSummary {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+  std::size_t rows = 0;
+};
+
+/// Summarize a row-major feature matrix with `num_features` columns.
+FeatureSummary summarize_rows(std::span<const float> matrix,
+                              std::size_t num_features);
+
+/// How far `current` has moved from `baseline`. Per feature j the score
+/// is the mean shift in units of the baseline's spread plus the spread
+/// change itself:
+///   score_j = (|mu_c - mu_b| + |sigma_c - sigma_b|) / denom_b,
+///   denom_b = sigma_b + 1e-3 * |mu_b| + 1e-12
+/// (the relative term keeps near-constant features from exploding the
+/// score on tiny absolute wobble). `mean_score` averages over features;
+/// `max_score`/`worst_feature` localize the worst offender.
+struct DriftScore {
+  double mean_score = 0.0;
+  double max_score = 0.0;
+  std::size_t worst_feature = 0;
+};
+
+DriftScore feature_drift(const FeatureSummary& baseline,
+                         const FeatureSummary& current);
+
+/// Online model-health readout for one window of the LFO pipeline,
+/// surfaced on core::WindowReport. Fields default to -1 ("undefined")
+/// until the corresponding signal exists (e.g. no serving model yet).
+/// All fields are deterministic functions of the trace and the decision
+/// schedule — they never feed back into caching decisions.
+struct ModelHealth {
+  /// Agreement of the serving model's cutoff decisions with this
+  /// window's later-computed OPT labels (the paper's own quality metric,
+  /// §3/Fig 5). -1 when no model was serving.
+  double decision_accuracy = -1.0;
+  double false_positive_share = -1.0;
+  double false_negative_share = -1.0;
+  /// Feature-distribution shift of this window vs the window the serving
+  /// model was trained on. -1 when no serving model / summary exists.
+  double feature_drift = -1.0;
+  double max_feature_drift = -1.0;
+  std::size_t drift_worst_feature = 0;
+  /// Fraction of this window's misses the predictor admitted
+  /// (1 - bypass share). -1 when the window saw no miss.
+  double admission_rate = -1.0;
+  double admission_rate_delta = 0.0;  ///< vs previous window (0 for first)
+  double bhr_delta = 0.0;             ///< vs previous window (0 for first)
+  /// True when feature_drift crossed WindowedConfig::drift_warn_threshold
+  /// (also logged at warn level): drift / flash-crowd degradation is
+  /// observable instead of silent.
+  bool drift_warning = false;
+};
+
+}  // namespace lfo::obs
+
+#endif  // LFO_OBS_MODEL_HEALTH_HPP

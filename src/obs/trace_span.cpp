@@ -1,0 +1,196 @@
+#include "obs/trace_span.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/exporters.hpp"
+
+namespace lfo::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+/// One complete (destructed) span. `name` points at a string literal.
+struct SpanRecord {
+  const char* name;
+  std::uint64_t begin_ns;
+  std::uint64_t end_ns;
+};
+
+/// Per-thread span storage. The owning thread appends under `mu`
+/// (uncontended in steady state — the exporter only locks after the
+/// workload quiesces); the buffer outlives its thread via shared_ptr so
+/// pool threads that exit before export lose nothing.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::uint32_t tid = 0;
+  std::string label;
+  std::vector<SpanRecord> spans;
+  std::uint64_t dropped = 0;
+};
+
+constexpr std::size_t kMaxSpansPerThread = 1 << 20;
+
+struct Collector {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+Collector& collector() {
+  static Collector c;
+  return c;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (!buffer) {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    auto& c = collector();
+    std::lock_guard lock(c.mu);
+    fresh->tid = c.next_tid++;
+    c.buffers.push_back(fresh);
+    buffer = std::move(fresh);
+  }
+  return *buffer;
+}
+
+std::vector<std::shared_ptr<ThreadBuffer>> all_buffers() {
+  auto& c = collector();
+  std::lock_guard lock(c.mu);
+  return c.buffers;
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_thread_label(std::string label) {
+  auto& buf = thread_buffer();
+  std::lock_guard lock(buf.mu);
+  buf.label = std::move(label);
+}
+
+void clear_trace() {
+  for (const auto& buf : all_buffers()) {
+    std::lock_guard lock(buf->mu);
+    buf->spans.clear();
+    buf->dropped = 0;
+  }
+}
+
+std::size_t recorded_span_count() {
+  std::size_t total = 0;
+  for (const auto& buf : all_buffers()) {
+    std::lock_guard lock(buf->mu);
+    total += buf->spans.size();
+  }
+  return total;
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!tracing_enabled()) return;
+  name_ = name;
+  begin_ns_ = detail::monotonic_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  const auto end_ns = detail::monotonic_ns();
+  auto& buf = thread_buffer();
+  std::lock_guard lock(buf.mu);
+  if (buf.spans.size() >= kMaxSpansPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.spans.push_back({name_, begin_ns_, end_ns});
+}
+
+void write_chrome_trace(std::ostream& os) {
+  struct ThreadDump {
+    std::uint32_t tid;
+    std::string label;
+    std::vector<SpanRecord> spans;
+  };
+  std::vector<ThreadDump> dumps;
+  std::uint64_t epoch = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& buf : all_buffers()) {
+    ThreadDump dump;
+    {
+      std::lock_guard lock(buf->mu);
+      dump.tid = buf->tid;
+      dump.label = buf->label;
+      dump.spans = buf->spans;
+    }
+    for (const auto& s : dump.spans) epoch = std::min(epoch, s.begin_ns);
+    dumps.push_back(std::move(dump));
+  }
+  if (epoch == std::numeric_limits<std::uint64_t>::max()) epoch = 0;
+
+  const auto us_since_epoch = [epoch](std::uint64_t ns) {
+    return static_cast<double>(ns - epoch) / 1000.0;
+  };
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](std::uint32_t tid, const char* ph, const char* name,
+                        std::uint64_t ts_ns) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escaped(name) << "\",\"cat\":\"lfo\",\"ph\":\""
+       << ph << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+    const auto old_precision = os.precision(3);
+    os << std::fixed << us_since_epoch(ts_ns);
+    os.unsetf(std::ios_base::fixed);
+    os.precision(old_precision);
+    os << '}';
+  };
+
+  for (auto& dump : dumps) {
+    // Thread lane label (metadata event).
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << dump.tid << ",\"args\":{\"name\":\""
+       << json_escaped(dump.label.empty()
+                           ? "thread-" + std::to_string(dump.tid)
+                           : dump.label)
+       << "\"}}";
+
+    // Spans on one thread nest properly (RAII), so serializing them as
+    // B/E pairs only needs an interval-containment sweep: outer spans
+    // first (begin asc, end desc), close every span that ends before the
+    // next one begins.
+    std::sort(dump.spans.begin(), dump.spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+                return a.end_ns > b.end_ns;
+              });
+    std::vector<const SpanRecord*> open;
+    for (const auto& span : dump.spans) {
+      while (!open.empty() && open.back()->end_ns <= span.begin_ns) {
+        emit(dump.tid, "E", open.back()->name, open.back()->end_ns);
+        open.pop_back();
+      }
+      emit(dump.tid, "B", span.name, span.begin_ns);
+      open.push_back(&span);
+    }
+    while (!open.empty()) {
+      emit(dump.tid, "E", open.back()->name, open.back()->end_ns);
+      open.pop_back();
+    }
+  }
+  os << "]}";
+}
+
+}  // namespace lfo::obs

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "mincostflow/solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "opt/segment_tree.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -181,6 +183,8 @@ OptDecisions compute_opt(std::span<const trace::Request> reqs,
   if (config.cache_size == 0) {
     throw std::invalid_argument("compute_opt: zero cache size");
   }
+  LFO_TRACE_SPAN("opt_solve");
+  LFO_COUNTER_INC("lfo_opt_solves_total");
   OptDecisions out;
   out.cached.assign(reqs.size(), 0);
   out.cache_fraction.assign(reqs.size(), 0.0f);
@@ -201,6 +205,7 @@ OptDecisions compute_opt(std::span<const trace::Request> reqs,
   }
   out.solve_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  LFO_HISTOGRAM_OBSERVE_SECONDS("lfo_opt_solve_seconds", out.solve_seconds);
   finalize_metrics(reqs, out);
   LFO_DCHECK_LE(out.hit_requests, out.total_requests);
   LFO_DCHECK_LE(out.hit_bytes, out.total_bytes);

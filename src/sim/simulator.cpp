@@ -5,6 +5,8 @@
 #include <iomanip>
 
 #include "cache/factory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "opt/opt.hpp"
 #include "util/logging.hpp"
 
@@ -16,6 +18,8 @@ using Clock = std::chrono::steady_clock;
 
 PolicyResult simulate_policy(cache::CachePolicy& policy,
                              const trace::Trace& trace) {
+  LFO_TRACE_SPAN("simulate_policy");
+  LFO_COUNTER_ADD("lfo_sim_requests_total", trace.size());
   const auto start = Clock::now();
   for (const auto& r : trace.requests()) policy.access(r);
   PolicyResult result;

@@ -1,16 +1,34 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 namespace lfo::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Level the process starts at: LFO_LOG_LEVEL when set and parsable,
+/// kInfo otherwise. Evaluated once during static initialisation, so the
+/// environment controls even the earliest log lines.
+LogLevel initial_level() {
+  const char* env = std::getenv("LFO_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (const auto parsed = parse_log_level(env)) return *parsed;
+  std::fprintf(stderr,
+               "[    0.000] WARN  LFO_LOG_LEVEL=\"%s\" not recognised; "
+               "using info\n",
+               env);
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
+    case LogLevel::kTrace: return "TRACE";
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO ";
     case LogLevel::kWarn: return "WARN ";
@@ -24,10 +42,28 @@ double elapsed_seconds() {
   static const clock::time_point start = clock::now();
   return std::chrono::duration<double>(clock::now() - start).count();
 }
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace" || lower == "0") return LogLevel::kTrace;
+  if (lower == "debug" || lower == "1") return LogLevel::kDebug;
+  if (lower == "info" || lower == "2") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "3") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "4") return LogLevel::kError;
+  return std::nullopt;
+}
 
 void log_line(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;

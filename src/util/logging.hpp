@@ -1,16 +1,31 @@
 #ifndef LFO_UTIL_LOGGING_HPP
 #define LFO_UTIL_LOGGING_HPP
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace lfo::util {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+};
 
-/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+/// Global minimum level; messages below it are dropped. Defaults to kInfo,
+/// or to LFO_LOG_LEVEL from the environment when set at process start
+/// (accepted: trace|debug|info|warn|warning|error, case-insensitive, or
+/// the numeric value; an unparsable value is ignored with a warning).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parse a level name or numeral as accepted by LFO_LOG_LEVEL.
+/// Returns nullopt for anything unrecognised.
+std::optional<LogLevel> parse_log_level(std::string_view text);
 
 /// Emit one line to stderr with a level tag and monotonic timestamp.
 /// Thread-safe (single atomic write per line).
@@ -34,6 +49,8 @@ void log(LogLevel level, const Args&... args) {
   log_line(level, os.str());
 }
 
+template <typename... Args>
+void log_trace(const Args&... args) { log(LogLevel::kTrace, args...); }
 template <typename... Args>
 void log_debug(const Args&... args) { log(LogLevel::kDebug, args...); }
 template <typename... Args>

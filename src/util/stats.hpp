@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <span>
 #include <vector>
 
 namespace lfo::util {
@@ -35,25 +37,45 @@ class RunningStats {
 /// Collects samples and answers percentile queries. Stores all samples;
 /// intended for experiment result series (thousands of points), not for
 /// per-request hot paths.
+///
+/// Thread safety: all members (including concurrent add + quantile) are
+/// safe to call from multiple threads. The lazy re-sort that quantile()
+/// performs happens under an internal lock — it used to mutate the
+/// sample vector from a const method unguarded, so two concurrent
+/// readers could sort the same vector at once and read torn data.
 class Percentiles {
  public:
   void add(double x) {
+    const std::lock_guard<std::mutex> lock(mu_);
     xs_.push_back(x);
     sorted_ = false;  // new sample invalidates any previous sort
   }
-  std::size_t count() const { return xs_.size(); }
+  std::size_t count() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return xs_.size();
+  }
 
   /// q in [0,1]; linear interpolation between order statistics.
   /// Returns 0 when empty.
   double quantile(double q) const;
+  /// Batch query: one sort, one lock acquisition for all of `qs`.
+  std::vector<double> quantiles(std::span<const double> qs) const;
   double median() const { return quantile(0.5); }
 
  private:
+  /// Pre: mu_ held. Sorts the samples if a new add() invalidated them.
+  void ensure_sorted_locked() const;
+  /// Pre: mu_ held and samples sorted.
+  double quantile_locked(double q) const;
+
+  mutable std::mutex mu_;
   mutable std::vector<double> xs_;
   mutable bool sorted_ = false;
 };
 
-/// Fixed-bin histogram over [lo, hi); values outside clamp to the edge bins.
+/// Fixed-bin histogram over [lo, hi). Values outside the range land in
+/// dedicated underflow/overflow counters instead of silently inflating
+/// the edge bins, so a mis-sized range is visible in the data.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -61,7 +83,13 @@ class Histogram {
   void add(double x);
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
+  /// Samples below lo / at-or-above hi, respectively.
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  /// All samples ever added, in-range or not.
   std::size_t total() const { return total_; }
+  /// total() minus the out-of-range samples.
+  std::size_t in_range() const { return total_ - underflow_ - overflow_; }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
 
@@ -69,6 +97,8 @@ class Histogram {
   double lo_;
   double hi_;
   std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
   std::size_t total_ = 0;
 };
 

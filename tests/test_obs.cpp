@@ -1,0 +1,681 @@
+// lfo::obs test suite: metrics registry semantics, exporter golden
+// formats (Prometheus text, JSONL, chrome://tracing JSON), and the
+// model-health monitor wired through the windowed pipeline.
+//
+// The format tests use a small recursive-descent JSON parser instead of
+// string matching, so structural regressions (unbalanced events, broken
+// escaping, duplicate series) fail loudly rather than fuzzily.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/windowed.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/model_health.hpp"
+#include "obs/trace_span.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace lfo;
+
+// ------------------------------------------------------ mini JSON parser
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Parses one complete JSON value; fails the surrounding test (via
+  /// ADD_FAILURE) and returns nullopt on any syntax error or trailing
+  /// garbage.
+  std::optional<JsonValue> parse() {
+    JsonValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      ADD_FAILURE() << "trailing characters after JSON value at byte "
+                    << pos_;
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    ADD_FAILURE() << "JSON parse error at byte " << pos_ << ": " << what;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.text);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.kind = JsonValue::Kind::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      skip_ws();
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.items.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("dangling escape");
+        const char esc = text_[pos_ + 1];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 5 >= text_.size()) return fail("short \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(
+                      text_[pos_ + 2 + static_cast<std::size_t>(i)]))) {
+                return fail("bad \\u escape");
+              }
+            }
+            out.push_back('?');  // code point itself is irrelevant here
+            pos_ += 4;
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character");
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ----------------------------------------------------- pipeline fixtures
+
+/// The golden-suite web scenario (stationary) and flash-crowd scenario
+/// (drifting), at the golden suite's exact generator settings, so the
+/// drift-warning assertions below are tied to the same locked traces.
+trace::Trace golden_trace(const std::string& name) {
+  trace::GeneratorConfig gen;
+  gen.num_requests = 20000;
+  if (name == "web") {
+    gen.seed = 101;
+    gen.classes = {trace::web_class(4000)};
+  } else {
+    gen.seed = 303;
+    gen.classes = {trace::web_class(3000)};
+    gen.drift.reshuffle_interval = 5000;
+    gen.drift.reshuffle_fraction = 0.3;
+    gen.drift.flash_crowd_probability = 1.0;
+    gen.drift.flash_crowd_share = 0.3;
+    gen.drift.flash_crowd_duration = 3000;
+  }
+  return trace::generate_trace(gen);
+}
+
+core::WindowedConfig golden_lfo_config() {
+  core::WindowedConfig config;
+  config.lfo.set_cache_size(32ULL << 20);
+  config.lfo.features.num_gaps = 20;
+  config.lfo.gbdt.num_iterations = 15;
+  config.window_size = 5000;
+  config.swap_lag = 1;
+  return config;
+}
+
+// ---------------------------------------------------------- metrics core
+
+TEST(MetricsRegistry, SameNameSameInstance) {
+  auto& registry = obs::MetricsRegistry::instance();
+  auto& a = registry.counter("test_same_name_counter");
+  auto& b = registry.counter("test_same_name_counter");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.inc();
+  b.add(2);
+  EXPECT_EQ(a.value(), 3u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndDuplicateFree) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("test_snap_b").inc();
+  registry.counter("test_snap_a").inc();
+  registry.gauge("test_snap_g").set(1.5);
+  const auto snap = registry.snapshot();
+  std::set<std::string> seen;
+  std::string prev;
+  for (const auto& c : snap.counters) {
+    EXPECT_TRUE(seen.insert(c.name).second)
+        << "duplicate counter " << c.name;
+    EXPECT_LE(prev, c.name) << "counters not sorted";
+    prev = c.name;
+  }
+}
+
+TEST(Gauge, AddAccumulates) {
+  obs::Gauge g;
+  g.add(1.5);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(LatencyHistogram, BucketsAndQuantiles) {
+  obs::LatencyHistogram h;
+  // 1000 observations of 1us and 1000 of 1ms: the median must sit in the
+  // 1us bucket region and p99 in the 1ms region.
+  for (int i = 0; i < 1000; ++i) h.observe_ns(1000);
+  for (int i = 0; i < 1000; ++i) h.observe_ns(1000000);
+  EXPECT_EQ(h.count(), 2000u);
+  EXPECT_NEAR(h.sum_seconds(), 1000 * 1e-6 + 1000 * 1e-3, 1e-9);
+  EXPECT_LT(h.quantile(0.25), 5e-6);
+  EXPECT_GT(h.quantile(0.99), 5e-4);
+  EXPECT_LT(h.quantile(0.99), 5e-3);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+#if LFO_METRICS_ENABLED
+TEST(MetricsRuntimeToggle, DisabledMacrosRecordNothing) {
+  auto& counter =
+      obs::MetricsRegistry::instance().counter("test_toggle_counter");
+  counter.reset();
+  obs::set_metrics_enabled(false);
+  LFO_COUNTER_INC("test_toggle_counter");
+  obs::set_metrics_enabled(true);
+  EXPECT_EQ(counter.value(), 0u);
+  LFO_COUNTER_INC("test_toggle_counter");
+  EXPECT_EQ(counter.value(), 1u);
+}
+#endif
+
+// ------------------------------------------------------------- exporters
+
+TEST(Exporters, PrometheusNameSanitizer) {
+  EXPECT_EQ(obs::prometheus_name("lfo_window_bhr"), "lfo_window_bhr");
+  EXPECT_EQ(obs::prometheus_name("has space-and.dots"),
+            "has_space_and_dots");
+  EXPECT_EQ(obs::prometheus_name("9starts_with_digit"),
+            "_starts_with_digit");
+  EXPECT_EQ(obs::prometheus_name(""), "_");
+}
+
+TEST(Exporters, PrometheusTextParsesWithoutDuplicateSeries) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("test_prom_counter").inc();
+  registry.gauge("test_prom_gauge").set(0.25);
+  auto& h = registry.histogram("test_prom_hist");
+  h.observe_seconds(0.001);
+  h.observe_seconds(0.1);
+
+  std::ostringstream os;
+  obs::write_prometheus_text(os);
+  std::istringstream is(os.str());
+
+  std::set<std::string> series;       // plain name+labels lines
+  std::set<std::string> type_decls;   // # TYPE lines
+  std::map<std::string, std::uint64_t> last_bucket_cum;
+  std::string line;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream ls(line.substr(7));
+      std::string name, kind;
+      ls >> name >> kind;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" ||
+                  kind == "histogram")
+          << line;
+      EXPECT_TRUE(type_decls.insert(name).second)
+          << "duplicate TYPE declaration: " << name;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unexpected comment: " << line;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_TRUE(series.insert(key).second) << "duplicate series: " << key;
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparsable sample value: " << line;
+
+    // Histogram buckets must be cumulative (non-decreasing in le order,
+    // which is the emit order).
+    const auto brace = key.find("_bucket{");
+    if (brace != std::string::npos) {
+      const std::string base = key.substr(0, brace);
+      const auto cum = static_cast<std::uint64_t>(
+          std::strtod(value.c_str(), nullptr));
+      const auto it = last_bucket_cum.find(base);
+      if (it != last_bucket_cum.end()) {
+        EXPECT_GE(cum, it->second) << "non-cumulative buckets: " << key;
+      }
+      last_bucket_cum[base] = cum;
+    }
+  }
+  EXPECT_TRUE(series.contains("test_prom_counter"));
+  EXPECT_TRUE(series.contains("test_prom_gauge"));
+  EXPECT_TRUE(series.contains("test_prom_hist_count"));
+  EXPECT_TRUE(series.contains("test_prom_hist_bucket{le=\"+Inf\"}"));
+}
+
+TEST(Exporters, JsonlSnapshotIsValidSingleLineJson) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("test_jsonl_counter").add(7);
+  registry.histogram("test_jsonl_hist").observe_seconds(0.002);
+
+  std::ostringstream os;
+  obs::write_jsonl_snapshot(os, "unit \"quoted\" label");
+  const std::string text = os.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(text.find('\n'), text.size() - 1) << "JSONL must be one line";
+
+  const auto doc =
+      JsonParser(text.substr(0, text.size() - 1)).parse();
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->kind, JsonValue::Kind::kObject);
+  const auto* label = doc->find("label");
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->text, "unit \"quoted\" label");
+  const auto* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto* counter = counters->find("test_jsonl_counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->number, 7.0);
+  const auto* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const auto* hist = hists->find("test_jsonl_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_NE(hist->find("p50"), nullptr);
+  EXPECT_NE(hist->find("count"), nullptr);
+}
+
+// ------------------------------------------------------------ chrome trace
+
+#if LFO_METRICS_ENABLED
+TEST(ChromeTrace, AsyncRunEmitsBalancedEventsInLabeledLanes) {
+  obs::clear_trace();
+  obs::set_tracing_enabled(true);
+  auto config = golden_lfo_config();
+  config.async = true;
+  config.train_threads = 2;
+  const auto trace = golden_trace("web");
+  const auto result = core::run_windowed_lfo(trace, config);
+  obs::set_tracing_enabled(false);
+  ASSERT_FALSE(result.windows.empty());
+  ASSERT_GT(obs::recorded_span_count(), 0u);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const auto doc = JsonParser(os.str()).parse();
+  ASSERT_TRUE(doc.has_value());
+  const auto* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+
+  std::map<double, std::vector<std::string>> open_per_tid;  // B/E stack
+  std::set<double> tids;
+  std::set<std::string> names;
+  std::set<double> labeled_tids;  // tids with a thread_name metadata event
+  std::map<double, double> last_ts_per_tid;  // events sorted per lane
+  for (const auto& ev : events->items) {
+    ASSERT_EQ(ev.kind, JsonValue::Kind::kObject);
+    const auto* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->text == "M") {
+      const auto* name = ev.find("name");
+      ASSERT_NE(name, nullptr);
+      EXPECT_EQ(name->text, "thread_name");
+      const auto* tid = ev.find("tid");
+      ASSERT_NE(tid, nullptr);
+      labeled_tids.insert(tid->number);
+      continue;
+    }
+    ASSERT_TRUE(ph->text == "B" || ph->text == "E")
+        << "unexpected phase " << ph->text;
+    const auto* tid = ev.find("tid");
+    const auto* ts = ev.find("ts");
+    ASSERT_NE(tid, nullptr);
+    ASSERT_NE(ts, nullptr);
+    EXPECT_GE(ts->number, 0.0);
+    // The writer serializes lane by lane; within each lane timestamps
+    // must be monotone (the viewer sorts lanes itself).
+    const auto [it, first] =
+        last_ts_per_tid.try_emplace(tid->number, ts->number);
+    if (!first) {
+      EXPECT_GE(ts->number, it->second)
+          << "events not sorted within tid " << tid->number;
+      it->second = ts->number;
+    }
+    tids.insert(tid->number);
+    auto& stack = open_per_tid[tid->number];
+    if (ph->text == "B") {
+      const auto* name = ev.find("name");
+      ASSERT_NE(name, nullptr);
+      names.insert(name->text);
+      stack.push_back(name->text);
+    } else {
+      ASSERT_FALSE(stack.empty()) << "E without matching B";
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open_per_tid) {
+    EXPECT_TRUE(stack.empty()) << "unbalanced spans on tid " << tid;
+  }
+  // Serve lane + at least one training lane, all with name metadata.
+  EXPECT_GE(tids.size(), 2u);
+  for (const double tid : tids) {
+    EXPECT_TRUE(labeled_tids.contains(tid))
+        << "tid " << tid << " has no thread_name metadata";
+  }
+  // The instrumented pipeline stages all show up.
+  for (const char* expected :
+       {"serve_window", "train_window", "opt_solve", "dataset_build",
+        "gbdt_train", "boost_round", "model_swap"}) {
+    EXPECT_TRUE(names.contains(expected))
+        << "span '" << expected << "' missing from trace";
+  }
+}
+#endif  // LFO_METRICS_ENABLED
+
+// ----------------------------------------------------------- model health
+
+TEST(ModelHealth, SummarizeRowsComputesMeanAndStddev) {
+  // Two features, three rows: feature 0 = {1,2,3}, feature 1 = {4,4,4}.
+  const std::vector<float> matrix{1.0f, 4.0f, 2.0f, 4.0f, 3.0f, 4.0f};
+  const auto summary = obs::summarize_rows(matrix, 2);
+  ASSERT_EQ(summary.rows, 3u);
+  ASSERT_EQ(summary.mean.size(), 2u);
+  EXPECT_NEAR(summary.mean[0], 2.0, 1e-12);
+  EXPECT_NEAR(summary.mean[1], 4.0, 1e-12);
+  EXPECT_NEAR(summary.stddev[0], std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_NEAR(summary.stddev[1], 0.0, 1e-12);
+}
+
+TEST(ModelHealth, DriftZeroForIdenticalAndPositiveForShifted) {
+  const std::vector<float> base{1.0f, 10.0f, 2.0f, 12.0f, 3.0f, 14.0f};
+  const auto a = obs::summarize_rows(base, 2);
+  const auto same = obs::feature_drift(a, a);
+  EXPECT_DOUBLE_EQ(same.mean_score, 0.0);
+  EXPECT_DOUBLE_EQ(same.max_score, 0.0);
+
+  // Shift feature 1 far away; feature 0 unchanged.
+  const std::vector<float> moved{1.0f, 100.0f, 2.0f, 120.0f, 3.0f, 140.0f};
+  const auto b = obs::summarize_rows(moved, 2);
+  const auto shifted = obs::feature_drift(a, b);
+  EXPECT_GT(shifted.mean_score, 0.0);
+  EXPECT_GT(shifted.max_score, shifted.mean_score);
+  EXPECT_EQ(shifted.worst_feature, 1u);
+}
+
+/// Windowed pipeline on the golden flash-crowd trace: health fields are
+/// filled, and the drift monitor flags the distribution shift there but
+/// stays quiet on the stationary web trace at the default threshold.
+TEST(ModelHealth, DriftWarningFiresOnFlashCrowdNotOnWeb) {
+  const auto run = [](const std::string& scenario) {
+    auto config = golden_lfo_config();
+    return core::run_windowed_lfo(golden_trace(scenario), config);
+  };
+  const auto web = run("web");
+  const auto flash = run("flash-crowd");
+
+  bool web_warned = false;
+  for (const auto& w : web.windows) web_warned |= w.health.drift_warning;
+  bool flash_warned = false;
+  for (const auto& w : flash.windows) {
+    flash_warned |= w.health.drift_warning;
+  }
+  EXPECT_FALSE(web_warned)
+      << "stationary web trace should stay under the drift threshold";
+  EXPECT_TRUE(flash_warned)
+      << "flash-crowd trace should cross the drift threshold";
+
+  // Field sanity on every window that has a serving model + training.
+  for (const auto& w : flash.windows) {
+    if (w.health.decision_accuracy >= 0.0) {
+      EXPECT_LE(w.health.decision_accuracy, 1.0);
+      EXPECT_GE(w.health.false_positive_share, 0.0);
+      EXPECT_GE(w.health.false_negative_share, 0.0);
+      EXPECT_NEAR(w.health.false_positive_share +
+                      w.health.false_negative_share,
+                  1.0 - w.health.decision_accuracy, 1e-12);
+    }
+    if (w.health.admission_rate >= 0.0) {
+      EXPECT_LE(w.health.admission_rate, 1.0);
+    }
+    if (w.health.feature_drift >= 0.0) {
+      EXPECT_GE(w.health.max_feature_drift, w.health.feature_drift);
+    }
+  }
+  // Drift is measured from the second swap onwards; it must actually be
+  // measured somewhere.
+  bool any_drift_measured = false;
+  for (const auto& w : flash.windows) {
+    any_drift_measured |= w.health.feature_drift >= 0.0;
+  }
+  EXPECT_TRUE(any_drift_measured);
+}
+
+TEST(ModelHealth, WindowHookSeesEveryWindowOnceInBothModes) {
+  const auto trace = golden_trace("web");
+  for (const bool async : {false, true}) {
+    auto config = golden_lfo_config();
+    config.async = async;
+    std::vector<int> seen;
+    config.window_hook = [&seen](const core::WindowReport& report) {
+      if (report.index >= seen.size()) seen.resize(report.index + 1, 0);
+      ++seen[report.index];
+    };
+    const auto result = core::run_windowed_lfo(trace, config);
+    ASSERT_EQ(seen.size(), result.windows.size()) << "async=" << async;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], 1) << "window " << i << " async=" << async;
+    }
+  }
+}
+
+TEST(ModelHealth, HealthIsDeterministicAcrossSchedules) {
+  const auto trace = golden_trace("flash-crowd");
+  auto config = golden_lfo_config();
+  const auto sync_result = core::run_windowed_lfo(trace, config);
+  config.async = true;
+  config.train_threads = 3;
+  const auto async_result = core::run_windowed_lfo(trace, config);
+  EXPECT_TRUE(core::same_decisions(sync_result, async_result));
+}
+
+#if LFO_METRICS_ENABLED
+TEST(ModelHealth, RuntimeMetricsToggleDoesNotChangeDecisions) {
+  const auto trace = golden_trace("web");
+  const auto config = golden_lfo_config();
+  obs::set_metrics_enabled(false);
+  const auto off = core::run_windowed_lfo(trace, config);
+  obs::set_metrics_enabled(true);
+  const auto on = core::run_windowed_lfo(trace, config);
+  EXPECT_TRUE(core::same_decisions(off, on));
+  // The registry saw the instrumented run.
+  const auto windows =
+      obs::MetricsRegistry::instance().counter("lfo_windows_total").value();
+  EXPECT_GE(windows, on.windows.size());
+}
+#endif
+
+// Calibration helper, a no-op unless LFO_PRINT_DRIFT is set: prints the
+// per-window drift scores of both scenarios so the default
+// drift_warn_threshold can be re-derived after feature changes.
+TEST(ModelHealth, PrintDriftCalibration) {
+  if (std::getenv("LFO_PRINT_DRIFT") == nullptr) GTEST_SKIP();
+  for (const std::string scenario : {"web", "flash-crowd"}) {
+    auto config = golden_lfo_config();
+    config.drift_warn_threshold = 0.0;  // silence warnings while probing
+    const auto result =
+        core::run_windowed_lfo(golden_trace(scenario), config);
+    std::cout << "# " << scenario << '\n';
+    for (const auto& w : result.windows) {
+      std::cout << "window " << w.index << " drift=" << w.health.feature_drift
+                << " max=" << w.health.max_feature_drift
+                << " worst_feature=" << w.health.drift_worst_feature
+                << " accuracy=" << w.health.decision_accuracy
+                << " admission=" << w.health.admission_rate
+                << " bhr_delta=" << w.health.bhr_delta << '\n';
+    }
+  }
+}
+
+}  // namespace

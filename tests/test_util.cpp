@@ -126,15 +126,18 @@ TEST(Percentiles, QuantilesInterpolate) {
   EXPECT_NEAR(p.quantile(0.9), 90.1, 1e-9);
 }
 
-TEST(Histogram, BinsAndClamping) {
+TEST(Histogram, BinsAndOutOfRange) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);
   h.add(9.5);
-  h.add(-100.0);  // clamps to bin 0
-  h.add(100.0);   // clamps to last bin
-  EXPECT_EQ(h.bin_count(0), 2u);
-  EXPECT_EQ(h.bin_count(9), 2u);
+  h.add(-100.0);  // below lo: counted as underflow, not bin 0
+  h.add(100.0);   // at/above hi: counted as overflow, not the last bin
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.in_range(), 2u);
   EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
 }
 

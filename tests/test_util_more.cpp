@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -66,10 +69,54 @@ TEST(PercentilesMore, AddAfterQueryStillSorts) {
   EXPECT_DOUBLE_EQ(p.median(), 2.0);
 }
 
+// Regression: quantile() used to lazily sort the sample vector from a
+// const method without synchronisation, so two threads issuing read-only
+// queries against the same (logically immutable) collector raced on the
+// in-place std::sort. Run under TSan this test fails on the old code.
+TEST(PercentilesMore, ConcurrentConstQuantileIsSafe) {
+  Percentiles p;
+  for (int i = 1000; i > 0; --i) p.add(static_cast<double>(i));
+  const Percentiles& view = p;
+  std::vector<std::thread> readers;
+  std::array<double, 8> medians{};
+  readers.reserve(medians.size());
+  for (std::size_t t = 0; t < medians.size(); ++t) {
+    readers.emplace_back(
+        [&view, &medians, t] { medians[t] = view.median(); });
+  }
+  for (auto& r : readers) r.join();
+  for (const double m : medians) EXPECT_DOUBLE_EQ(m, 500.5);
+}
+
+TEST(PercentilesMore, BatchQuantilesMatchSingleQueries) {
+  Percentiles p;
+  for (int i = 0; i < 100; ++i) p.add(static_cast<double>(i));
+  const std::array<double, 3> qs{0.1, 0.5, 0.9};
+  const auto batch = p.quantiles(qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], p.quantile(qs[i]));
+  }
+}
+
 TEST(HistogramMore, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
   EXPECT_THROW(Histogram(1.0, 0.0, 10), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramMore, OutOfRangeBoundaries) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);    // lo is inclusive: first bin
+  h.add(10.0);   // hi is exclusive: overflow
+  h.add(9.999);  // just under hi: last bin
+  h.add(-1e-9);  // just under lo: underflow
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.in_range(), 2u);
 }
 
 TEST(BinaryConfusionMore, DegenerateAllPositive) {
@@ -124,6 +171,32 @@ TEST(LoggingMore, LevelFilterApplies) {
   log_info("dropped");
   log_error("kept: this line is expected in test output");
   set_log_level(before);
+}
+
+TEST(LoggingMore, TraceIsBelowEveryOtherLevel) {
+  EXPECT_LT(LogLevel::kTrace, LogLevel::kDebug);
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+  const auto before = log_level();
+  set_log_level(LogLevel::kError);
+  log_trace("dropped at error level");  // must not crash
+  set_log_level(before);
+}
+
+TEST(LoggingMore, ParseLogLevelNamesAndNumbers) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("TRACE"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("Debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("4"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("5"), std::nullopt);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 # Static-analysis and dynamic-correctness gate for libLFO.
 #
 #   tools/run_static_checks.sh [--skip-asan] [--skip-tsan] [--skip-tidy]
+#                              [--skip-obs]
 #
 # Runs, in order:
 #   1. asan-ubsan preset: configure, build the test suite, run ctest under
@@ -9,9 +10,14 @@
 #   2. tsan preset: configure, build, run the "stress" ctest label
 #      (ThreadPool, parallel sweep, async retraining pipeline) under
 #      ThreadSanitizer.
-#   3. clang-tidy over src/ via the asan build's compile_commands.json
-#      with the repo .clang-tidy config (skipped with a warning when no
-#      clang-tidy binary is installed, e.g. gcc-only containers).
+#   3. obs gate: build with -DLFO_METRICS=ON and =OFF, run tier1 under
+#      both, and diff the golden-trace decision counts across the two
+#      builds — instrumentation must be provably decision-neutral even
+#      when compiled out.
+#   4. clang-tidy over src/ (including src/obs) via the asan build's
+#      compile_commands.json with the repo .clang-tidy config (skipped
+#      with a warning when no clang-tidy binary is installed, e.g.
+#      gcc-only containers).
 #
 # Exits non-zero on the first failing stage.
 #
@@ -25,11 +31,13 @@ cd "$(dirname "$0")/.."
 SKIP_ASAN=0
 SKIP_TSAN=0
 SKIP_TIDY=0
+SKIP_OBS=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-tidy) SKIP_TIDY=1 ;;
+    --skip-obs) SKIP_OBS=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -53,6 +61,34 @@ if [[ "$SKIP_TSAN" -eq 0 ]]; then
         --target test_async_pipeline -j "$JOBS"
   banner "tsan: ctest -L stress"
   ctest --test-dir build-tsan -L stress --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$SKIP_OBS" -eq 0 ]]; then
+  for mode in on off; do
+    flag=OFF
+    [[ "$mode" == on ]] && flag=ON
+    banner "obs: LFO_METRICS=$flag configure + build + tier1"
+    cmake -S . -B "build-obs-$mode" -DCMAKE_BUILD_TYPE=Release \
+          -DLFO_METRICS="$flag"
+    cmake --build "build-obs-$mode" --target lfo_tests -j "$JOBS"
+    ctest --test-dir "build-obs-$mode" -L tier1 --output-on-failure \
+          -j "$JOBS"
+  done
+  banner "obs: golden decisions must match across LFO_METRICS=ON/OFF"
+  GOLDEN_TMP="$(mktemp -d)"
+  trap 'rm -rf "$GOLDEN_TMP"' EXIT
+  for mode in on off; do
+    LFO_UPDATE_GOLDEN=1 "./build-obs-$mode/tests/test_golden_traces" \
+        --gtest_filter='*PrintCurrentValues*' \
+        | sed -n '/constexpr Scenario kGolden/,/^};/p' \
+        > "$GOLDEN_TMP/golden-$mode.txt"
+    [[ -s "$GOLDEN_TMP/golden-$mode.txt" ]] \
+        || { echo "obs gate: empty golden dump for $mode" >&2; exit 1; }
+  done
+  diff -u "$GOLDEN_TMP/golden-on.txt" "$GOLDEN_TMP/golden-off.txt" \
+      || { echo "obs gate: instrumentation changed golden decisions" >&2
+           exit 1; }
+  echo "obs gate: golden decision counts identical across ON/OFF"
 fi
 
 if [[ "$SKIP_TIDY" -eq 0 ]]; then
