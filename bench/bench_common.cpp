@@ -1,8 +1,13 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -12,6 +17,7 @@ namespace lfo::bench {
 Args::Args(int argc, char** argv,
            std::map<std::string, std::string> defaults)
     : values_(std::move(defaults)) {
+  values_.emplace("json", "");  // built-in: machine-readable output path
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -59,6 +65,95 @@ std::string Args::get_string(const std::string& key) const {
 
 void Args::print(std::ostream& os) const {
   for (const auto& [k, v] : values_) os << "# " << k << "=" << v << '\n';
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  std::ostringstream os;
+  os << std::setprecision(17) << value;
+  return os.str();
+}
+
+}  // namespace
+
+JsonDoc& JsonDoc::set(const std::string& key, double value) {
+  fields_.emplace_back(key, json_number(value));
+  return *this;
+}
+
+JsonDoc& JsonDoc::set(const std::string& key, std::uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonDoc& JsonDoc::set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, '"' + json_escape(value) + '"');
+  return *this;
+}
+
+JsonDoc& JsonDoc::set(const std::string& key, const char* value) {
+  return set(key, std::string(value));
+}
+
+JsonDoc& JsonDoc::set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+void JsonDoc::write(std::ostream& os) const {
+  os << "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    os << "  \"" << json_escape(fields_[i].first)
+       << "\": " << fields_[i].second
+       << (i + 1 < fields_.size() ? ",\n" : "\n");
+  }
+  os << "}\n";
+}
+
+void JsonDoc::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    util::log_error("cannot write JSON output to ", path);
+    return;
+  }
+  write(os);
+}
+
+std::string git_revision() {
+  FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (!pipe) return "unknown";
+  char buf[64] = {};
+  std::string rev;
+  if (std::fgets(buf, sizeof(buf), pipe)) rev = buf;
+  pclose(pipe);
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  return rev.empty() ? "unknown" : rev;
 }
 
 trace::Trace standard_trace(std::uint64_t num_requests, std::uint64_t seed,

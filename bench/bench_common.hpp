@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/lfo_model.hpp"
 #include "trace/generator.hpp"
@@ -13,6 +15,9 @@ namespace lfo::bench {
 
 /// Tiny --key=value command-line parser shared by the figure harnesses.
 /// Unknown keys abort with a usage message listing the known ones.
+/// Every bench accepts the built-in `--json=<path>` key (default empty):
+/// harnesses that support it write a machine-readable result summary
+/// there (see JsonDoc below).
 class Args {
  public:
   Args(int argc, char** argv,
@@ -22,12 +27,38 @@ class Args {
   double get_double(const std::string& key) const;
   std::string get_string(const std::string& key) const;
 
+  /// The built-in --json flag; empty when no JSON output was requested.
+  std::string json_path() const { return get_string("json"); }
+
   /// Echo the effective configuration (one "# key=value" line each).
   void print(std::ostream& os) const;
 
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Minimal flat JSON-object builder for machine-readable bench output
+/// (BENCH_*.json): insertion-ordered keys, scalar values only. Numbers
+/// are emitted with enough precision to round-trip.
+class JsonDoc {
+ public:
+  JsonDoc& set(const std::string& key, double value);
+  JsonDoc& set(const std::string& key, std::uint64_t value);
+  JsonDoc& set(const std::string& key, const std::string& value);
+  JsonDoc& set(const std::string& key, const char* value);
+  JsonDoc& set(const std::string& key, bool value);
+
+  void write(std::ostream& os) const;
+  /// Write to `path`; logs and carries on when the path is unwritable
+  /// (benches should not fail on a bad output path).
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key, raw json
+};
+
+/// Short git revision of the working tree, or "unknown" outside a repo.
+std::string git_revision();
 
 /// The standard synthetic CDN workload used by all figure benches:
 /// production content mix (web/photo/video/download) with mild popularity

@@ -9,10 +9,12 @@
 // the same code path as the paper's 44-core testbed; absolute scaling is
 // bounded by the available cores.)
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -123,6 +125,69 @@ int main(int argc, char** argv) {
     csv.field(threads).field(mrps).field(mrps / threads).end_row();
   }
 
+  // --- Inference engines: the reference per-tree walk vs the compiled
+  // flat forest, scalar and blocked-batch, on one thread. This is the
+  // serving hot loop the flat engine exists for; all three must produce
+  // bitwise-identical probabilities.
+  const std::size_t dim = trained.model->dimension();
+  const std::size_t rows = dataset.num_rows();
+  std::vector<float> matrix(rows * dim);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto row = dataset.row(i);
+    std::copy(row.begin(), row.end(),
+              matrix.begin() + static_cast<std::ptrdiff_t>(i * dim));
+  }
+  const auto& booster = trained.model->booster();
+  const auto& forest = trained.model->forest();
+  std::vector<double> walk_out(rows), flat_single_out(rows),
+      flat_batch_out(rows);
+
+  const auto preds_per_sec = [&](auto&& body) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t rep = 0; rep < repeats; ++rep) body();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    return static_cast<double>(rows) * static_cast<double>(repeats) / secs;
+  };
+  const auto row_at = [&](std::size_t i) {
+    return std::span<const float>{matrix.data() + i * dim, dim};
+  };
+  const double walk_pps = preds_per_sec([&] {
+    for (std::size_t i = 0; i < rows; ++i) {
+      walk_out[i] = booster.predict_proba(row_at(i));
+    }
+  });
+  const double flat_single_pps = preds_per_sec([&] {
+    for (std::size_t i = 0; i < rows; ++i) {
+      flat_single_out[i] = forest.predict_proba(row_at(i));
+    }
+  });
+  const double flat_batch_pps = preds_per_sec(
+      [&] { forest.predict_proba_batch(matrix, dim, flat_batch_out); });
+
+  bool bitwise_identical = true;
+  for (std::size_t i = 0; i < rows; ++i) {
+    bitwise_identical &= walk_out[i] == flat_single_out[i] &&
+                         walk_out[i] == flat_batch_out[i];
+  }
+
+  std::cout << "\n# Inference-engine comparison (single thread)\n";
+  util::CsvWriter engine_csv(std::cout);
+  engine_csv.header({"engine", "million_preds_per_sec", "ns_per_pred",
+                     "speedup_vs_tree_walk"});
+  const auto engine_row = [&](const char* name, double pps) {
+    engine_csv.field(name).field(pps / 1e6).field(1e9 / pps)
+        .field(pps / walk_pps).end_row();
+  };
+  engine_row("tree_walk", walk_pps);
+  engine_row("flat_single", flat_single_pps);
+  engine_row("flat_batch", flat_batch_pps);
+  std::cout << "# engines bitwise identical: "
+            << (bitwise_identical ? "yes" : "NO (bug)")
+            << "; flat batch speedup " << flat_batch_pps / walk_pps
+            << "x (acceptance: >= 2x)\n";
+
   // Link-rate arithmetic from the paper: 40 Gbit/s at 32 KB objects needs
   // 40e9 / 8 / 32768 ~ 152K predictions/s.
   const double needed_40g = 40e9 / 8.0 / 32768.0 / 1e6;
@@ -185,6 +250,19 @@ int main(int argc, char** argv) {
             << "; expected >=2x speedup on >=4 cores (training hidden "
                "behind serving)\n";
 
+  // Engine A/B through the full pipeline: the same serial run with the
+  // reference tree-walk engine must reproduce every caching decision the
+  // flat-forest default made above.
+  const auto saved_engine = core::LfoModel::default_engine();
+  core::LfoModel::set_default_engine(core::LfoModel::Engine::kTreeWalk);
+  const auto [tree_secs, tree_result] =
+      timed_pipeline(pipe_trace, wconfig, /*async=*/false, train_threads);
+  core::LfoModel::set_default_engine(saved_engine);
+  const bool engines_same_decisions =
+      core::same_decisions(sync_result, tree_result);
+  std::cout << "# identical decisions (flat vs tree-walk engine): "
+            << (engines_same_decisions ? "yes" : "NO (bug)") << '\n';
+
   // --- Observability overhead: the same async pipeline with the whole
   // obs layer runtime-disabled vs fully enabled (metrics + tracing).
   // Both modes must make identical decisions, and the enabled run must
@@ -234,5 +312,33 @@ int main(int argc, char** argv) {
               << prefix << ".trace.json (load in chrome://tracing)\n";
   }
   obs::set_tracing_enabled(false);
+
+  // Machine-readable summary for tooling (tools/run_bench.sh writes
+  // BENCH_fig7.json by default).
+  if (const auto json_path = args.json_path(); !json_path.empty()) {
+    bench::JsonDoc doc;
+    doc.set("bench", "fig7_throughput")
+        .set("git_revision", bench::git_revision())
+        .set("seed", args.get_u64("seed"))
+        .set("predict_requests", static_cast<std::uint64_t>(rows))
+        .set("num_trees",
+             static_cast<std::uint64_t>(
+                 trained.model->booster().num_trees()))
+        .set("single_thread_million_reqs_per_sec", single_thread)
+        .set("tree_walk_preds_per_sec", walk_pps)
+        .set("tree_walk_ns_per_request", 1e9 / walk_pps)
+        .set("flat_single_preds_per_sec", flat_single_pps)
+        .set("flat_single_ns_per_request", 1e9 / flat_single_pps)
+        .set("flat_batch_preds_per_sec", flat_batch_pps)
+        .set("flat_batch_ns_per_request", 1e9 / flat_batch_pps)
+        .set("flat_single_speedup", flat_single_pps / walk_pps)
+        .set("flat_batch_speedup", flat_batch_pps / walk_pps)
+        .set("engines_bitwise_identical", bitwise_identical)
+        .set("engines_same_decisions", engines_same_decisions)
+        .set("async_pipeline_speedup", sync_secs / async_secs)
+        .set("obs_overhead_pct", overhead_pct);
+    doc.write_file(json_path);
+    std::cout << "# wrote " << json_path << '\n';
+  }
   return 0;
 }

@@ -71,12 +71,22 @@ void BM_GbdtTrain(benchmark::State& state) {
 }
 BENCHMARK(BM_GbdtTrain)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
 
+/// One trained LFO model shared by the predictor microbenchmarks (GBDT
+/// training is itself benchmarked above; re-training per benchmark would
+/// dominate setup time).
+const core::TrainResult& micro_model() {
+  static const core::TrainResult trained = [] {
+    const auto window = micro_trace().window(0, 20000);
+    core::LfoConfig config;
+    config.set_cache_size(micro_trace().unique_bytes() / 16);
+    return core::train_on_window(window, config);
+  }();
+  return trained;
+}
+
 void BM_Predict(benchmark::State& state) {
-  const auto window = micro_trace().window(0, 20000);
-  core::LfoConfig config;
-  config.set_cache_size(micro_trace().unique_bytes() / 16);
-  const auto trained = core::train_on_window(window, config);
-  std::vector<float> row(config.features.dimension(), 1.0f);
+  const auto& trained = micro_model();
+  std::vector<float> row(trained.model->dimension(), 1.0f);
   util::Rng rng(3);
   for (auto _ : state) {
     row[0] = static_cast<float>(rng.uniform(1 << 20));
@@ -87,14 +97,78 @@ void BM_Predict(benchmark::State& state) {
 }
 BENCHMARK(BM_Predict);
 
+/// A matrix of `rows` realistic feature rows for the batch kernels.
+std::vector<float> micro_feature_matrix(std::size_t rows) {
+  const std::size_t dim = micro_model().model->dimension();
+  std::vector<float> matrix(rows * dim);
+  util::Rng rng(11);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = matrix.data() + r * dim;
+    row[0] = static_cast<float>(rng.uniform(1 << 20));
+    row[1] = row[0];
+    row[2] = static_cast<float>(rng.uniform(1 << 24));
+    for (std::size_t f = 3; f < dim; ++f) {
+      // Mix of observed gaps and the missing-gap sentinel.
+      row[f] = rng.uniform(4) == 0
+                   ? 1e8f
+                   : static_cast<float>(1 + rng.uniform(1 << 16));
+    }
+  }
+  return matrix;
+}
+
+/// Single-sample predict, flat engine vs reference per-tree walk.
+void BM_ForestPredictSingle(benchmark::State& state, bool flat) {
+  const auto& trained = micro_model();
+  const std::size_t dim = trained.model->dimension();
+  const auto matrix = micro_feature_matrix(512);
+  const auto& forest = trained.model->forest();
+  const auto& booster = trained.model->booster();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::span<const float> row{matrix.data() + (i % 512) * dim, dim};
+    benchmark::DoNotOptimize(flat ? forest.predict_proba(row)
+                                  : booster.predict_proba(row));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ForestPredictSingle, flat, true);
+BENCHMARK_CAPTURE(BM_ForestPredictSingle, tree_walk, false);
+
+/// Batched predict at B in {1, 8, 64, 512}: the blocked level-synchronous
+/// flat kernel vs the tree-outer reference walk.
+void BM_ForestPredictBatch(benchmark::State& state, bool flat) {
+  const auto& trained = micro_model();
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = trained.model->dimension();
+  const auto matrix = micro_feature_matrix(rows);
+  std::vector<double> out(rows);
+  for (auto _ : state) {
+    if (flat) {
+      trained.model->forest().predict_proba_batch(matrix, dim, out);
+    } else {
+      trained.model->booster().predict_proba_batch(matrix, dim, out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK_CAPTURE(BM_ForestPredictBatch, flat, true)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK_CAPTURE(BM_ForestPredictBatch, tree_walk, false)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(512);
+
 void BM_FeatureExtraction(benchmark::State& state) {
   features::FeatureExtractor extractor{features::FeatureConfig{}};
   std::vector<float> row(extractor.dimension());
+  features::FeatureScratch scratch;
   const auto& t = micro_trace();
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& r = t[i % t.size()];
-    extractor.extract(r, i, 1 << 20, row);
+    extractor.extract(r, i, 1 << 20, row, scratch);
     extractor.observe(r, i);
     benchmark::DoNotOptimize(row.data());
     ++i;
@@ -102,6 +176,24 @@ void BM_FeatureExtraction(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FeatureExtraction);
+
+/// extract() alone on a warm history (the per-request serving cost with
+/// no observe/history mutation mixed in).
+void BM_FeatureExtractOnly(benchmark::State& state) {
+  features::FeatureExtractor extractor{features::FeatureConfig{}};
+  std::vector<float> row(extractor.dimension());
+  features::FeatureScratch scratch;
+  const auto& t = micro_trace();
+  for (std::size_t i = 0; i < t.size(); ++i) extractor.observe(t[i], i);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    extractor.extract(t[i % t.size()], t.size() + i, 1 << 20, row, scratch);
+    benchmark::DoNotOptimize(row.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureExtractOnly);
 
 void BM_PolicyAccess(benchmark::State& state, const char* name) {
   const auto& t = micro_trace();

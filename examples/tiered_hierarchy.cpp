@@ -55,9 +55,11 @@ int main() {
   auto model = trained.model;
   std::uint64_t t = 0;
   cache::TieredCache learned(ram, disk);
-  learned.set_placement([&, extractor, model](const trace::Request& r) {
+  auto scratch = std::make_shared<features::FeatureScratch>();
+  learned.set_placement([&, extractor, scratch, model](
+                            const trace::Request& r) {
     std::vector<float> row(extractor->dimension());
-    extractor->extract(r, t, learned.free_bytes(), row);
+    extractor->extract(r, t, learned.free_bytes(), row, *scratch);
     const double p = model->predict(row);
     if (p >= 0.8 && r.size <= ram / 16) {
       return cache::TieredCache::Tier::kFast;

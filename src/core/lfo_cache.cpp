@@ -40,7 +40,7 @@ double LfoCache::predict(const trace::Request& request) {
   }
   // With rescore_on_swap the row is extracted even during bootstrap so
   // the entry's stored feature row is always current.
-  extractor_.extract(request, clock(), free_bytes(), row_buffer_);
+  extractor_.extract(request, clock(), free_bytes(), row_buffer_, scratch_);
   return model_ ? model_->predict(row_buffer_) : 0.5;
 }
 
@@ -94,9 +94,12 @@ double LfoCache::rank_of(const trace::Request& request,
 
 void LfoCache::update_rank(trace::ObjectId object, double rank) {
   auto& e = entries_[object];
-  order_.erase(e.order_it);
+  // Extract + reinsert reuses the multimap node, keeping the per-request
+  // re-rank free of heap traffic (part of the zero-allocation hot path).
+  auto node = order_.extract(e.order_it);
+  node.key() = rank;
   e.likelihood = rank;
-  e.order_it = order_.emplace(rank, object);
+  e.order_it = order_.insert(std::move(node));
 }
 
 void LfoCache::on_hit(const trace::Request& request) {

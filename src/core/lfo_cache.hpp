@@ -106,6 +106,7 @@ class LfoCache : public cache::CachePolicy {
   double cutoff_;
   LfoPolicyOptions options_;
   std::vector<float> row_buffer_;
+  features::FeatureScratch scratch_;
   std::unordered_map<trace::ObjectId, Entry> entries_;
   std::multimap<double, trace::ObjectId> order_;  // likelihood ascending
   std::uint64_t bypassed_ = 0;

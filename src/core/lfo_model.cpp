@@ -1,5 +1,6 @@
 #include "core/lfo_model.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <stdexcept>
@@ -13,21 +14,49 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+std::atomic<LfoModel::Engine>& default_engine_slot() {
+  static std::atomic<LfoModel::Engine> engine{
+      LfoModel::Engine::kFlatForest};
+  return engine;
+}
 }  // namespace
 
+void LfoModel::set_default_engine(Engine engine) {
+  default_engine_slot().store(engine, std::memory_order_relaxed);
+}
+
+LfoModel::Engine LfoModel::default_engine() {
+  return default_engine_slot().load(std::memory_order_relaxed);
+}
+
 LfoModel::LfoModel(gbdt::Model model, features::FeatureConfig config)
-    : model_(std::move(model)), config_(config) {}
+    : model_(std::move(model)),
+      forest_(gbdt::FlatForest::compile(model_)),
+      config_(config),
+      engine_(default_engine()) {}
 
 double LfoModel::predict(std::span<const float> feature_row) const {
-  return model_.predict_proba(feature_row);
+  return engine_ == Engine::kFlatForest
+             ? forest_.predict_proba(feature_row)
+             : model_.predict_proba(feature_row);
 }
 
 std::vector<double> LfoModel::predict_batch(
     std::span<const float> matrix) const {
   const std::size_t dim = dimension();
   std::vector<double> out(dim ? matrix.size() / dim : 0);
-  model_.predict_proba_batch(matrix, dim, out);
+  predict_batch(matrix, out);
   return out;
+}
+
+void LfoModel::predict_batch(std::span<const float> matrix,
+                             std::span<double> out) const {
+  if (engine_ == Engine::kFlatForest) {
+    forest_.predict_proba_batch(matrix, dimension(), out);
+  } else {
+    model_.predict_proba_batch(matrix, dimension(), out);
+  }
 }
 
 std::vector<LfoModel::FeatureImportance> LfoModel::feature_importance()

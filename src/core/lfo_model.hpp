@@ -9,6 +9,7 @@
 
 #include "features/dataset_builder.hpp"
 #include "features/features.hpp"
+#include "gbdt/flat_forest.hpp"
 #include "gbdt/gbdt.hpp"
 #include "obs/model_health.hpp"
 #include "opt/opt.hpp"
@@ -42,18 +43,39 @@ struct LfoConfig {
 /// after construction).
 class LfoModel {
  public:
+  /// Which inference kernel serves predictions. kFlatForest (default) is
+  /// the compiled contiguous engine; kTreeWalk is the reference per-tree
+  /// walk over gbdt::Model. Both produce bitwise-identical scores — the
+  /// toggle exists so tests and bench_fig7_throughput can diff/compare
+  /// the engines.
+  enum class Engine { kFlatForest, kTreeWalk };
+
   LfoModel(gbdt::Model model, features::FeatureConfig config);
+
+  /// Engine newly constructed models start with (process-wide, defaults
+  /// to kFlatForest). Set before a run to A/B the engines end to end.
+  static void set_default_engine(Engine engine);
+  static Engine default_engine();
+  void set_engine(Engine engine) { engine_ = engine; }
+  Engine engine() const { return engine_; }
 
   /// Probability that OPT would cache this feature vector.
   double predict(std::span<const float> feature_row) const;
 
   /// Batched prediction over a row-major matrix whose rows have
   /// dimension() columns. Bitwise identical to row-by-row predict();
-  /// much friendlier to the cache (tree-outer traversal). Used by the
+  /// much friendlier to the cache (blocked level-synchronous traversal
+  /// on the flat engine, tree-outer on the reference walk). Used by the
   /// eviction-ranking rescore and the prediction-error evaluation.
   std::vector<double> predict_batch(std::span<const float> matrix) const;
+  /// Allocation-free variant writing into caller-owned storage.
+  void predict_batch(std::span<const float> matrix,
+                     std::span<double> out) const;
 
   const gbdt::Model& booster() const { return model_; }
+  /// The compiled serving engine (built once at construction, i.e. at
+  /// model-swap time in the windowed pipeline).
+  const gbdt::FlatForest& forest() const { return forest_; }
   const features::FeatureConfig& feature_config() const { return config_; }
   std::size_t dimension() const { return config_.dimension(); }
 
@@ -74,7 +96,9 @@ class LfoModel {
 
  private:
   gbdt::Model model_;
+  gbdt::FlatForest forest_;
   features::FeatureConfig config_;
+  Engine engine_;
 };
 
 /// Diagnostics of one training run.

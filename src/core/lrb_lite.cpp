@@ -93,14 +93,14 @@ double LrbCache::predicted_next_use(const Slot& slot) {
   // (Evaluating stale admission-time features instead would mark every
   // slightly-late hot object as overdue and evict it.)
   const trace::Request as_of_now{slot.object, slot.size, slot.cost};
-  extractor_.extract(as_of_now, clock(), 0, row_buffer_);
+  extractor_.extract(as_of_now, clock(), 0, row_buffer_, scratch_);
   const double log_gap = model_->predict_raw(row_buffer_);
   return static_cast<double>(clock()) +
          std::exp2(std::clamp(log_gap, 0.0, 40.0));
 }
 
 void LrbCache::on_hit(const trace::Request& request) {
-  extractor_.extract(request, clock(), 0, row_buffer_);
+  extractor_.extract(request, clock(), 0, row_buffer_, scratch_);
   record_sample(request, row_buffer_);
   extractor_.observe(request, clock());
   auto& slot = slots_[index_[request.object]];
@@ -110,7 +110,7 @@ void LrbCache::on_hit(const trace::Request& request) {
 }
 
 void LrbCache::on_miss(const trace::Request& request) {
-  extractor_.extract(request, clock(), 0, row_buffer_);
+  extractor_.extract(request, clock(), 0, row_buffer_, scratch_);
   record_sample(request, row_buffer_);
   extractor_.observe(request, clock());
   expire_pending();

@@ -114,6 +114,7 @@ class LrbCache : public cache::CachePolicy {
   std::vector<float> train_labels_;
   std::uint64_t next_retrain_;
   std::vector<float> row_buffer_;
+  features::FeatureScratch scratch_;
 };
 
 }  // namespace lfo::core

@@ -44,13 +44,14 @@ gbdt::Dataset build_dataset(std::span<const trace::Request> reqs,
   const float missing = options.features.missing_gap_value;
 
   std::vector<float> row(extractor.dimension());
+  FeatureScratch scratch;
   std::int64_t occupied = 0;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     const auto free_bytes =
         occupied >= static_cast<std::int64_t>(options.cache_size)
             ? std::uint64_t{0}
             : options.cache_size - static_cast<std::uint64_t>(occupied);
-    extractor.extract(reqs[i], i, free_bytes, row);
+    extractor.extract(reqs[i], i, free_bytes, row, scratch);
     extractor.observe(reqs[i], i);
     if (options.gap_noise_sigma > 0.0) {
       for (std::size_t f = gap_begin; f < row.size(); ++f) {

@@ -93,13 +93,17 @@ FeatureExtractor::FeatureExtractor(FeatureConfig config)
     : config_(config),
       history_(config.num_gaps),
       gap_indices_(config.gap_indices()),
-      gap_buffer_(config.num_gaps, 0.0f) {}
+      dimension_(config.dimension()) {}
 
 void FeatureExtractor::extract(const trace::Request& request,
                                std::uint64_t time, std::uint64_t free_bytes,
-                               std::span<float> out) const {
+                               std::span<float> out,
+                               FeatureScratch& scratch) const {
   if (out.size() != dimension()) {
     throw std::invalid_argument("FeatureExtractor::extract: bad out size");
+  }
+  if (scratch.gaps.size() != config_.num_gaps) {
+    scratch.gaps.resize(config_.num_gaps);  // first use only
   }
   std::size_t i = 0;
   if (config_.include_size) out[i++] = static_cast<float>(request.size);
@@ -107,10 +111,10 @@ void FeatureExtractor::extract(const trace::Request& request,
   if (config_.include_free_bytes) {
     out[i++] = static_cast<float>(free_bytes);
   }
-  history_.gaps(request.object, time, gap_buffer_,
+  history_.gaps(request.object, time, scratch.gaps,
                 config_.missing_gap_value);
   for (const auto g : gap_indices_) {
-    out[i++] = gap_buffer_[g - 1];
+    out[i++] = scratch.gaps[g - 1];
   }
 }
 

@@ -83,20 +83,39 @@ class HistoryTable {
   std::vector<ObjectHistory> table_;  // dense, indexed by object id
 };
 
+/// Caller-owned working memory for FeatureExtractor::extract. Holding the
+/// gap staging buffer outside the extractor keeps extract() a genuinely
+/// const, data-race-free operation (concurrent extraction only needs one
+/// scratch per thread) and makes the serving hot path allocation-free:
+/// the buffer is sized on first use and reused for every later request.
+struct FeatureScratch {
+  std::vector<float> gaps;
+};
+
 /// Stateful feature extractor combining the history table with the
 /// request's own attributes and the cache's free-byte count.
+///
+/// Thread safety: extract() is const and touches no extractor state
+/// besides the (read-only) history table, so any number of threads may
+/// extract concurrently, each with its own FeatureScratch. observe() and
+/// reset() mutate the history and require external serialization against
+/// everything else.
 class FeatureExtractor {
  public:
   explicit FeatureExtractor(FeatureConfig config = {});
 
   const FeatureConfig& config() const { return config_; }
-  std::size_t dimension() const { return config_.dimension(); }
+  /// Cached at construction: FeatureConfig::dimension() materializes the
+  /// gap-index list, which must not happen per extract() call.
+  std::size_t dimension() const { return dimension_; }
 
   /// Build the feature vector for a request arriving at logical time
-  /// `time` while the cache has `free_bytes` available. Does NOT record
-  /// the request; call observe() afterwards.
+  /// `time` while the cache has `free_bytes` available, staging gaps in
+  /// `scratch` (allocation-free once the scratch is warm). Does NOT
+  /// record the request; call observe() afterwards.
   void extract(const trace::Request& request, std::uint64_t time,
-               std::uint64_t free_bytes, std::span<float> out) const;
+               std::uint64_t free_bytes, std::span<float> out,
+               FeatureScratch& scratch) const;
 
   /// Record the request into the history.
   void observe(const trace::Request& request, std::uint64_t time);
@@ -109,7 +128,7 @@ class FeatureExtractor {
   FeatureConfig config_;
   HistoryTable history_;
   std::vector<std::uint32_t> gap_indices_;
-  mutable std::vector<float> gap_buffer_;
+  std::size_t dimension_;
 };
 
 }  // namespace lfo::features

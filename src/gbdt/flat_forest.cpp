@@ -1,0 +1,172 @@
+#include "gbdt/flat_forest.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LFO_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define LFO_PREFETCH(addr) ((void)0)
+#endif
+
+namespace lfo::gbdt {
+
+FlatForest FlatForest::compile(const Model& model) {
+  FlatForest forest;
+  forest.base_score_ = model.base_score();
+  const std::size_t num_trees = model.num_trees();
+  forest.roots_.resize(num_trees);
+  forest.depths_.resize(num_trees);
+
+  // Pass A: per-tree level lists (children appended in parent visitation
+  // order, left before right, so sibling pairs stay adjacent).
+  std::vector<std::vector<std::vector<std::int32_t>>> levels(num_trees);
+  std::size_t total_nodes = 0;
+  std::size_t max_levels = 0;
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    const Tree& tree = model.tree(t);
+    total_nodes += static_cast<std::size_t>(tree.num_nodes());
+    auto& tree_levels = levels[t];
+    tree_levels.push_back({0});
+    for (std::size_t d = 0; d < tree_levels.size(); ++d) {
+      std::vector<std::int32_t> next;
+      for (const auto node : tree_levels[d]) {
+        if (tree.is_leaf(node)) continue;
+        next.push_back(tree.left_child(node));
+        next.push_back(tree.right_child(node));
+      }
+      if (!next.empty()) tree_levels.push_back(std::move(next));
+    }
+    forest.depths_[t] = static_cast<std::int32_t>(tree_levels.size()) - 1;
+    max_levels = std::max(max_levels, tree_levels.size());
+  }
+
+  // Pass B: assign flat slots level by level, tree-interleaved.
+  std::vector<std::vector<std::int32_t>> slot(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    slot[t].assign(static_cast<std::size_t>(model.tree(t).num_nodes()), -1);
+  }
+  std::int32_t next_slot = 0;
+  for (std::size_t d = 0; d < max_levels; ++d) {
+    for (std::size_t t = 0; t < num_trees; ++t) {
+      if (d >= levels[t].size()) continue;
+      for (const auto node : levels[t][d]) {
+        slot[t][static_cast<std::size_t>(node)] = next_slot++;
+      }
+    }
+  }
+  LFO_CHECK_EQ(static_cast<std::size_t>(next_slot), total_nodes)
+      << "FlatForest::compile: slot assignment missed nodes";
+
+  // Pass C: emit the packed nodes through the mapping.
+  forest.nodes_.resize(total_nodes);
+  forest.values_.assign(total_nodes, 0.0);
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    const Tree& tree = model.tree(t);
+    forest.roots_[t] = slot[t][0];
+    for (std::int32_t node = 0; node < tree.num_nodes(); ++node) {
+      const auto s = static_cast<std::size_t>(
+          slot[t][static_cast<std::size_t>(node)]);
+      Node& out = forest.nodes_[s];
+      if (tree.is_leaf(node)) {
+        out.left = static_cast<std::int32_t>(s);
+        out.feature = 0;
+        out.threshold = kInf;
+        forest.values_[s] = tree.leaf_value(node);
+      } else {
+        out.left = slot[t][static_cast<std::size_t>(tree.left_child(node))];
+        out.feature = tree.split_feature(node);
+        out.threshold = tree.threshold(node);
+        LFO_DCHECK_EQ(
+            out.left + 1,
+            slot[t][static_cast<std::size_t>(tree.right_child(node))])
+            << "FlatForest::compile: sibling pair not adjacent";
+      }
+    }
+  }
+  return forest;
+}
+
+std::int32_t FlatForest::max_depth() const {
+  std::int32_t deepest = 0;
+  for (const auto d : depths_) deepest = std::max(deepest, d);
+  return deepest;
+}
+
+double FlatForest::predict_raw(std::span<const float> features) const {
+  double score = base_score_;
+  const Node* const nodes = nodes_.data();
+  const float* const row = features.data();
+  for (std::size_t t = 0; t < roots_.size(); ++t) {
+    std::int32_t u = roots_[t];
+    // Leaves self-loop, so the walk has converged once a step no longer
+    // moves the cursor; sibling adjacency makes the step branch-free.
+    for (;;) {
+      const Node n = nodes[u];
+      const std::int32_t next =
+          n.left + static_cast<std::int32_t>(
+                       !(row[static_cast<std::size_t>(n.feature)] <=
+                         n.threshold));
+      if (next == u) break;
+      u = next;
+    }
+    score += values_[static_cast<std::size_t>(u)];
+  }
+  return score;
+}
+
+double FlatForest::predict_proba(std::span<const float> features) const {
+  return sigmoid(predict_raw(features));
+}
+
+void FlatForest::predict_raw_batch(std::span<const float> matrix,
+                                   std::size_t num_features,
+                                   std::span<double> out) const {
+  LFO_CHECK_GT(num_features, 0u) << "predict_raw_batch: zero-width rows";
+  LFO_CHECK_EQ(matrix.size(), out.size() * num_features)
+      << "predict_raw_batch: matrix/output shape mismatch";
+  std::fill(out.begin(), out.end(), base_score_);
+  const Node* const nodes = nodes_.data();
+  std::int32_t cursor[kBlockRows];
+  for (std::size_t r0 = 0; r0 < out.size(); r0 += kBlockRows) {
+    const std::size_t block = std::min(kBlockRows, out.size() - r0);
+    const float* const rows = matrix.data() + r0 * num_features;
+    // Per-row accumulation stays in tree order (base + t0 + t1 + ...):
+    // bitwise identical to the scalar walk.
+    for (std::size_t t = 0; t < roots_.size(); ++t) {
+      const std::int32_t root = roots_[t];
+      for (std::size_t i = 0; i < block; ++i) cursor[i] = root;
+      for (std::int32_t d = depths_[t]; d > 0; --d) {
+        std::int32_t moved = 0;
+        for (std::size_t i = 0; i < block; ++i) {
+          const Node n = nodes[cursor[i]];
+          const std::int32_t next =
+              n.left +
+              static_cast<std::int32_t>(
+                  !(rows[i * num_features +
+                         static_cast<std::size_t>(n.feature)] <=
+                    n.threshold));
+          moved |= next ^ cursor[i];
+          cursor[i] = next;
+          LFO_PREFETCH(&nodes[next]);
+        }
+        if (moved == 0) break;  // every sample of the block is at a leaf
+      }
+      for (std::size_t i = 0; i < block; ++i) {
+        out[r0 + i] += values_[static_cast<std::size_t>(cursor[i])];
+      }
+    }
+  }
+}
+
+void FlatForest::predict_proba_batch(std::span<const float> matrix,
+                                     std::size_t num_features,
+                                     std::span<double> out) const {
+  predict_raw_batch(matrix, num_features, out);
+  for (auto& v : out) v = sigmoid(v);
+}
+
+}  // namespace lfo::gbdt

@@ -1,0 +1,84 @@
+#ifndef LFO_GBDT_FLAT_FOREST_HPP
+#define LFO_GBDT_FLAT_FOREST_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gbdt/gbdt.hpp"
+
+namespace lfo::gbdt {
+
+/// A trained Model compiled into a single contiguous node block spanning
+/// all trees, for the serving hot path.
+///
+/// Layout. Nodes of every tree are interleaved in level order: all roots
+/// first, then every tree's depth-1 nodes, and so on, so the hot
+/// top-of-tree nodes of the whole forest share cache lines. Each node
+/// packs (left child, split feature, threshold) into 12 bytes; the two
+/// children of a split are always adjacent (right == left + 1), so one
+/// index encodes both. Leaves are compiled to self-loops (left == self,
+/// threshold == +inf) with their value resolved in-place in a parallel
+/// `values_` array — traversal needs no is-leaf branch and summation
+/// needs no per-tree indirection.
+///
+/// Determinism. Traversal uses the same `feature <= threshold` test and
+/// the raw score accumulates base_score + tree_0 + tree_1 + ... in double
+/// precision, exactly like Model::predict_raw, so predictions — and
+/// therefore caching decisions — are bitwise identical to the per-tree
+/// walk (enforced by tests/test_flat_forest.cpp and the golden suite).
+/// Feature values must not be NaN (LFO features never are).
+///
+/// predict() and the batch kernels perform no heap allocation.
+class FlatForest {
+ public:
+  /// Rows advanced together by the blocked batch kernel: enough
+  /// independent traversal chains to hide load latency, small enough
+  /// that the per-block cursors live in registers/L1.
+  static constexpr std::size_t kBlockRows = 64;
+
+  FlatForest() = default;
+
+  /// Compile a trained model. The model can be discarded afterwards.
+  static FlatForest compile(const Model& model);
+
+  std::size_t num_trees() const { return roots_.size(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  double base_score() const { return base_score_; }
+  /// Deepest level of any tree (0 for stump-only forests).
+  std::int32_t max_depth() const;
+
+  /// Raw additive score (log-odds) of one sample.
+  double predict_raw(std::span<const float> features) const;
+  /// Probability of the positive class (sigmoid of the raw score).
+  double predict_proba(std::span<const float> features) const;
+
+  /// Blocked batch traversal over a row-major matrix of `out.size()`
+  /// rows with `num_features` columns: advances a block of kBlockRows
+  /// samples through one tree level at a time (cache/ILP friendly,
+  /// software-prefetching child nodes). Scores are bitwise identical to
+  /// calling predict_raw row by row.
+  void predict_raw_batch(std::span<const float> matrix,
+                         std::size_t num_features,
+                         std::span<double> out) const;
+  void predict_proba_batch(std::span<const float> matrix,
+                           std::size_t num_features,
+                           std::span<double> out) const;
+
+ private:
+  struct Node {
+    std::int32_t left;     ///< left child; right = left + 1; self on leaves
+    std::int32_t feature;  ///< split feature (0 on leaves)
+    float threshold;       ///< go left when value <= threshold (+inf leaves)
+  };
+
+  std::vector<Node> nodes_;     // level-interleaved across all trees
+  std::vector<double> values_;  // leaf value per node (0 on split nodes)
+  std::vector<std::int32_t> roots_;   // per-tree root index
+  std::vector<std::int32_t> depths_;  // per-tree deepest level
+  double base_score_ = 0.0;
+};
+
+}  // namespace lfo::gbdt
+
+#endif  // LFO_GBDT_FLAT_FOREST_HPP

@@ -33,6 +33,9 @@ class Tree {
   std::int32_t split_feature(std::int32_t node) const {
     return feature_[node];
   }
+  /// Children of an internal node (undefined on leaves, where left_ < 0).
+  std::int32_t left_child(std::int32_t node) const { return left_[node]; }
+  std::int32_t right_child(std::int32_t node) const { return right_[node]; }
   float threshold(std::int32_t node) const { return threshold_[node]; }
   double leaf_value(std::int32_t node) const { return value_[node]; }
   void set_leaf_value(std::int32_t node, double v) { value_[node] = v; }

@@ -111,13 +111,14 @@ TEST(FeatureExtractor, ExtractLaysOutFeatures) {
   FeatureExtractor ex(config);
   Request r{5, 1000, 1000.0};
   std::vector<float> row(ex.dimension());
-  ex.extract(r, 10, 5000, row);
+  FeatureScratch scratch;
+  ex.extract(r, 10, 5000, row, scratch);
   EXPECT_FLOAT_EQ(row[0], 1000.0f);   // size
   EXPECT_FLOAT_EQ(row[1], 1000.0f);   // cost
   EXPECT_FLOAT_EQ(row[2], 5000.0f);   // free bytes
   EXPECT_FLOAT_EQ(row[3], -1.0f);     // no history yet
   ex.observe(r, 10);
-  ex.extract(r, 25, 4000, row);
+  ex.extract(r, 25, 4000, row, scratch);
   EXPECT_FLOAT_EQ(row[3], 15.0f);  // gap1
   EXPECT_FLOAT_EQ(row[4], -1.0f);
 }
@@ -126,7 +127,8 @@ TEST(FeatureExtractor, RejectsWrongOutputSize) {
   FeatureExtractor ex{FeatureConfig{}};
   Request r{1, 10, 10.0};
   std::vector<float> row(3);
-  EXPECT_THROW(ex.extract(r, 0, 0, row), std::invalid_argument);
+  FeatureScratch scratch;
+  EXPECT_THROW(ex.extract(r, 0, 0, row, scratch), std::invalid_argument);
 }
 
 TEST(DatasetBuilder, LabelsMatchOptDecisions) {

@@ -1,0 +1,253 @@
+// Property tests of the flat-forest inference engine: on randomized
+// forests (varying depth, leaf counts, feature counts, missing-gap
+// sentinels) FlatForest must be *bitwise* identical to the per-tree
+// reference walk — single-sample, batched, and after a save/load →
+// compile round trip — and the serving pipeline must make identical
+// decisions whichever engine is installed, sync or async.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "core/windowed.hpp"
+#include "gbdt/flat_forest.hpp"
+#include "gbdt/gbdt.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lfo;
+
+constexpr float kMissingGap = 1e8f;
+
+/// Threshold/feature values drawn from a small integer pool so random
+/// rows frequently hit a split threshold exactly (the `<=` boundary),
+/// with the missing-gap sentinel mixed in.
+float random_value(util::Rng& rng) {
+  switch (rng.uniform(5)) {
+    case 0:
+      return kMissingGap;
+    case 1:
+      return -static_cast<float>(rng.uniform(16));
+    default:
+      return static_cast<float>(rng.uniform(16));
+  }
+}
+
+gbdt::Tree random_tree(util::Rng& rng, std::size_t num_features,
+                       std::uint64_t max_splits) {
+  gbdt::Tree tree(rng.normal(0.0, 1.0));
+  std::vector<std::int32_t> leaves{0};
+  const auto splits = rng.uniform(max_splits + 1);
+  for (std::uint64_t s = 0; s < splits; ++s) {
+    const auto pick = rng.uniform(leaves.size());
+    const auto leaf = leaves[pick];
+    leaves.erase(leaves.begin() + static_cast<std::ptrdiff_t>(pick));
+    const auto feature =
+        static_cast<std::int32_t>(rng.uniform(num_features));
+    // Thresholds overlap the row-value pool (exact-equality boundary
+    // cases) and include the missing-gap sentinel itself.
+    const float threshold =
+        rng.uniform(8) == 0 ? kMissingGap
+                            : static_cast<float>(rng.uniform(16));
+    const auto children = tree.split_leaf(leaf, feature, threshold,
+                                          rng.normal(0.0, 1.0),
+                                          rng.normal(0.0, 1.0));
+    leaves.push_back(children.left);
+    leaves.push_back(children.right);
+  }
+  return tree;
+}
+
+gbdt::Model random_model(std::uint64_t seed, std::size_t num_trees,
+                         std::size_t num_features,
+                         std::uint64_t max_splits) {
+  util::Rng rng(seed);
+  std::vector<gbdt::Tree> trees;
+  trees.reserve(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    trees.push_back(random_tree(rng, num_features, max_splits));
+  }
+  return gbdt::Model(rng.normal(0.0, 0.5), std::move(trees));
+}
+
+std::vector<float> random_matrix(util::Rng& rng, std::size_t rows,
+                                 std::size_t num_features) {
+  std::vector<float> matrix(rows * num_features);
+  for (auto& v : matrix) v = random_value(rng);
+  return matrix;
+}
+
+/// The reference score FlatForest must reproduce bit for bit: base score
+/// plus each tree's contribution, accumulated in tree order.
+double tree_walk_raw(const gbdt::Model& model,
+                     std::span<const float> row) {
+  double score = model.base_score();
+  for (std::size_t t = 0; t < model.num_trees(); ++t) {
+    score += model.tree(t).predict(row);
+  }
+  return score;
+}
+
+TEST(FlatForest, SinglePredictBitwiseIdenticalToTreeWalk) {
+  util::Rng rng(17);
+  for (std::uint64_t round = 0; round < 40; ++round) {
+    const std::size_t num_features = 1 + rng.uniform(12);
+    const std::size_t num_trees = rng.uniform(12);
+    const auto max_splits = 1 + rng.uniform(30);
+    const auto model =
+        random_model(100 + round, num_trees, num_features, max_splits);
+    const auto forest = gbdt::FlatForest::compile(model);
+    ASSERT_EQ(forest.num_trees(), model.num_trees());
+
+    const auto matrix = random_matrix(rng, 32, num_features);
+    for (std::size_t r = 0; r < 32; ++r) {
+      const std::span<const float> row{matrix.data() + r * num_features,
+                                       num_features};
+      const double expected = tree_walk_raw(model, row);
+      EXPECT_EQ(forest.predict_raw(row), expected)
+          << "round " << round << " row " << r;
+      EXPECT_EQ(forest.predict_proba(row), model.predict_proba(row))
+          << "round " << round << " row " << r;
+    }
+  }
+}
+
+TEST(FlatForest, BatchEqualsSingleSampleTimesN) {
+  util::Rng rng(23);
+  for (const std::size_t rows : {1u, 7u, 63u, 64u, 65u, 200u, 513u}) {
+    const std::size_t num_features = 6;
+    const auto model = random_model(900 + rows, 10, num_features, 40);
+    const auto forest = gbdt::FlatForest::compile(model);
+    const auto matrix = random_matrix(rng, rows, num_features);
+
+    std::vector<double> raw(rows), proba(rows);
+    forest.predict_raw_batch(matrix, num_features, raw);
+    forest.predict_proba_batch(matrix, num_features, proba);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::span<const float> row{matrix.data() + r * num_features,
+                                       num_features};
+      EXPECT_EQ(raw[r], forest.predict_raw(row)) << "rows=" << rows
+                                                 << " r=" << r;
+      EXPECT_EQ(proba[r], forest.predict_proba(row)) << "rows=" << rows
+                                                     << " r=" << r;
+      // And against the reference batch implementation.
+      EXPECT_EQ(raw[r], tree_walk_raw(model, row));
+    }
+  }
+}
+
+TEST(FlatForest, SaveLoadCompileRoundTrips) {
+  util::Rng rng(31);
+  const std::size_t num_features = 8;
+  const auto model = random_model(7, 12, num_features, 30);
+  std::stringstream buffer;
+  model.save(buffer);
+  const auto reloaded = gbdt::Model::load(buffer);
+
+  const auto original = gbdt::FlatForest::compile(model);
+  const auto recompiled = gbdt::FlatForest::compile(reloaded);
+  ASSERT_EQ(original.num_nodes(), recompiled.num_nodes());
+
+  const auto matrix = random_matrix(rng, 64, num_features);
+  for (std::size_t r = 0; r < 64; ++r) {
+    const std::span<const float> row{matrix.data() + r * num_features,
+                                     num_features};
+    EXPECT_EQ(original.predict_raw(row), recompiled.predict_raw(row));
+  }
+}
+
+TEST(FlatForest, HandlesStumpsAndEmptyForests) {
+  // Single-leaf trees compile to depth-0 self-loops.
+  std::vector<gbdt::Tree> stumps;
+  stumps.emplace_back(0.25);
+  stumps.emplace_back(-0.75);
+  const gbdt::Model model(0.5, std::move(stumps));
+  const auto forest = gbdt::FlatForest::compile(model);
+  EXPECT_EQ(forest.max_depth(), 0);
+  const std::vector<float> row{1.0f};
+  EXPECT_EQ(forest.predict_raw(row), 0.5 + 0.25 + -0.75);
+
+  // A model with no trees at all predicts sigmoid(base).
+  const gbdt::Model empty;
+  const auto empty_forest = gbdt::FlatForest::compile(empty);
+  EXPECT_EQ(empty_forest.num_nodes(), 0u);
+  EXPECT_EQ(empty_forest.predict_proba(row), gbdt::sigmoid(0.0));
+}
+
+TEST(FlatForest, InterleavedLayoutPutsRootsFirst) {
+  // All roots occupy the first num_trees slots (level-order across
+  // trees), which is what keeps the hot top-of-tree nodes co-resident.
+  const auto model = random_model(55, 8, 4, 20);
+  const auto forest = gbdt::FlatForest::compile(model);
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < model.num_trees(); ++t) {
+    total += static_cast<std::size_t>(model.tree(t).num_nodes());
+  }
+  EXPECT_EQ(forest.num_nodes(), total);
+}
+
+/// RAII restore of the process-wide default engine.
+struct EngineGuard {
+  core::LfoModel::Engine saved = core::LfoModel::default_engine();
+  ~EngineGuard() { core::LfoModel::set_default_engine(saved); }
+};
+
+TEST(FlatForest, PipelineDecisionsIdenticalAcrossEnginesAndSyncAsync) {
+  EngineGuard guard;
+  const auto trace = trace::generate_zipf_trace(6000, 600, 0.9, 21);
+  core::WindowedConfig config;
+  config.lfo.set_cache_size(1 << 22);
+  config.lfo.features.num_gaps = 10;
+  config.lfo.gbdt.num_iterations = 8;
+  config.window_size = 1000;
+  config.swap_lag = 1;
+
+  core::LfoModel::set_default_engine(core::LfoModel::Engine::kFlatForest);
+  config.async = false;
+  const auto flat_sync = core::run_windowed_lfo(trace, config);
+  config.async = true;
+  config.train_threads = 2;
+  const auto flat_async = core::run_windowed_lfo(trace, config);
+
+  core::LfoModel::set_default_engine(core::LfoModel::Engine::kTreeWalk);
+  config.async = false;
+  const auto tree_sync = core::run_windowed_lfo(trace, config);
+  config.async = true;
+  const auto tree_async = core::run_windowed_lfo(trace, config);
+
+  EXPECT_TRUE(core::same_decisions(flat_sync, tree_sync))
+      << "flat engine drifted from the tree walk (sync)";
+  EXPECT_TRUE(core::same_decisions(flat_sync, flat_async));
+  EXPECT_TRUE(core::same_decisions(tree_sync, tree_async));
+  EXPECT_TRUE(core::same_decisions(flat_async, tree_async))
+      << "flat engine drifted from the tree walk (async)";
+}
+
+TEST(FlatForest, LfoModelEngineToggleIsBitwiseNeutral) {
+  EngineGuard guard;
+  core::LfoModel::set_default_engine(core::LfoModel::Engine::kFlatForest);
+  features::FeatureConfig fc;
+  fc.num_gaps = 5;
+  auto model = random_model(77, 10, fc.dimension(), 30);
+  core::LfoModel lfo(std::move(model), fc);
+  EXPECT_EQ(lfo.engine(), core::LfoModel::Engine::kFlatForest);
+
+  util::Rng rng(3);
+  const auto matrix = random_matrix(rng, 100, fc.dimension());
+  const auto flat = lfo.predict_batch(matrix);
+  lfo.set_engine(core::LfoModel::Engine::kTreeWalk);
+  const auto walk = lfo.predict_batch(matrix);
+  ASSERT_EQ(flat.size(), walk.size());
+  for (std::size_t r = 0; r < flat.size(); ++r) {
+    EXPECT_EQ(flat[r], walk[r]) << "row " << r;
+    const std::span<const float> row{matrix.data() + r * fc.dimension(),
+                                     fc.dimension()};
+    EXPECT_EQ(walk[r], lfo.predict(row));
+  }
+}
+
+}  // namespace

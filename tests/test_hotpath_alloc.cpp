@@ -1,0 +1,200 @@
+// Zero-allocation guarantee of the serving hot path. This binary replaces
+// the global operator new/delete with counting wrappers and asserts that,
+// once warm, (a) FlatForest prediction, (b) FeatureExtractor::extract, and
+// (c) a full LfoCache replay of hits and bypassed misses perform ZERO heap
+// allocations per request. The strict zero assertions only run in
+// optimized, unsanitized builds (the perf-smoke stage of
+// tools/run_static_checks.sh runs them in Release); elsewhere the flows
+// still execute but the counts are informational.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/lfo_cache.hpp"
+#include "core/lfo_model.hpp"
+#include "features/features.hpp"
+#include "gbdt/flat_forest.hpp"
+#include "gbdt/gbdt.hpp"
+#include "trace/request.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// Counting global allocator. Counts every successful allocation; frees are
+// uncounted (the hot-path claim is about allocations). All variants route
+// through malloc/free so pairs always match — GCC cannot see that and
+// warns about the free() in the replaced delete.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  if (void* p = std::malloc(size ? size : 1)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = std::malloc(size ? size : 1);
+  if (p) g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace lfo;
+
+// Strict zero assertions need an optimized, unsanitized build: sanitizer
+// runtimes insert their own allocations and debug containers may too.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kStrict = false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kStrict = false;
+#elif defined(NDEBUG)
+constexpr bool kStrict = true;
+#else
+constexpr bool kStrict = false;
+#endif
+#elif defined(NDEBUG)
+constexpr bool kStrict = true;
+#else
+constexpr bool kStrict = false;
+#endif
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void expect_zero_allocations(std::uint64_t delta, const char* what) {
+  if (kStrict) {
+    EXPECT_EQ(delta, 0u) << what << " allocated on the hot path";
+  } else if (delta != 0) {
+    GTEST_SKIP() << what << ": " << delta
+                 << " allocations observed, but strict zero-allocation "
+                    "assertions require an optimized unsanitized build";
+  }
+}
+
+/// An admission model that decides purely on object size: <= 100 bytes
+/// scores sigmoid(+2) (admit), larger scores sigmoid(-2) (bypass). Keeps
+/// the steady-state replay free of admissions and evictions.
+gbdt::Model size_split_model() {
+  gbdt::Tree tree(0.0);
+  tree.split_leaf(0, /*feature=*/0, /*threshold=*/100.0f, +2.0, -2.0);
+  std::vector<gbdt::Tree> trees;
+  trees.push_back(std::move(tree));
+  return gbdt::Model(0.0, std::move(trees));
+}
+
+TEST(HotPathAlloc, FlatForestPredictAllocatesNothing) {
+  const auto forest = gbdt::FlatForest::compile(size_split_model());
+  constexpr std::size_t kRows = 256, kDim = 3;
+  std::vector<float> matrix(kRows * kDim, 50.0f);
+  std::vector<double> out(kRows);
+
+  const auto before = allocations();
+  double sink = 0.0;
+  for (int round = 0; round < 100; ++round) {
+    for (std::size_t r = 0; r < kRows; ++r) {
+      sink += forest.predict_proba(
+          std::span<const float>{matrix.data() + r * kDim, kDim});
+    }
+    forest.predict_proba_batch(matrix, kDim, out);
+    sink += out[0];
+  }
+  expect_zero_allocations(allocations() - before, "FlatForest predict");
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(HotPathAlloc, WarmFeatureExtractAllocatesNothing) {
+  features::FeatureConfig config;
+  config.num_gaps = 16;
+  features::FeatureExtractor extractor(config);
+  features::FeatureScratch scratch;
+  std::vector<float> row(extractor.dimension());
+  std::vector<trace::Request> requests;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    requests.push_back(trace::Request{i % 8, 50 + i % 8, 50.0});
+  }
+  // Warm pass: history rings and scratch size themselves here.
+  std::uint64_t t = 0;
+  for (const auto& r : requests) {
+    extractor.extract(r, t, 1 << 20, row, scratch);
+    extractor.observe(r, t);
+    ++t;
+  }
+
+  const auto before = allocations();
+  for (int round = 0; round < 100; ++round) {
+    for (const auto& r : requests) {
+      extractor.extract(r, t, 1 << 20, row, scratch);
+      extractor.observe(r, t);
+      ++t;
+    }
+  }
+  expect_zero_allocations(allocations() - before,
+                          "FeatureExtractor::extract/observe");
+  EXPECT_GT(row[0], 0.0f);
+}
+
+TEST(HotPathAlloc, LfoCacheSteadyStateAllocatesNothing) {
+  features::FeatureConfig config;
+  config.num_gaps = 16;
+  core::LfoCache cache(/*capacity=*/4096, config);
+  cache.swap_model(std::make_shared<core::LfoModel>(
+      size_split_model(), config));
+
+  // Ten small objects (admitted, then permanent hits) and five large
+  // objects (under capacity but above the model's size split, so the
+  // predictor bypasses them on every miss) — no admissions or evictions
+  // once warm, i.e. the steady state the zero-allocation claim covers.
+  std::vector<trace::Request> requests;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    requests.push_back(trace::Request{i, 50, 50.0});
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    requests.push_back(trace::Request{100 + i, 2000, 2000.0});
+  }
+
+  // Two warm passes: admissions, history rings, metric-handle
+  // registration, and hash-map growth all happen here.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& r : requests) cache.access(r);
+  }
+  // Smalls were admitted on the first pass and hit on the second; larges
+  // bypassed on both passes.
+  ASSERT_EQ(cache.stats().hits, 10u);
+  ASSERT_EQ(cache.bypassed(), 10u);
+
+  const auto before = allocations();
+  for (int round = 0; round < 100; ++round) {
+    for (const auto& r : requests) cache.access(r);
+  }
+  expect_zero_allocations(allocations() - before,
+                          "LfoCache steady-state access");
+  // The replay really exercised both hot paths: hits and bypassed misses.
+  EXPECT_EQ(cache.stats().hits % 10, 0u);
+  EXPECT_GE(cache.bypassed(), 5u * 102u);
+}
+
+}  // namespace

@@ -9,9 +9,11 @@
 #include <chrono>
 #include <future>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "features/features.hpp"
 #include "sim/sweep.hpp"
 #include "trace/generator.hpp"
 #include "util/thread_pool.hpp"
@@ -110,6 +112,52 @@ TEST(ThreadPoolStress, ParallelForFromManyThreads) {
   }
   for (auto& c : callers) c.join();
   EXPECT_EQ(counted.load(), 4000U);
+}
+
+TEST(FeatureExtractorStress, ConcurrentConstExtractIsRaceFree) {
+  // extract() used to write through a `mutable` gap buffer, making
+  // concurrent const extraction a data race. With caller-owned scratch
+  // the extractor is genuinely read-only here; TSan checks exactly that.
+  const auto trace = lfo::trace::generate_zipf_trace(4000, 400, 0.9, 17);
+  lfo::features::FeatureConfig config;
+  config.num_gaps = 16;
+  const lfo::features::FeatureExtractor extractor = [&] {
+    lfo::features::FeatureExtractor warm(config);
+    for (std::size_t i = 0; i < trace.size(); ++i) warm.observe(trace[i], i);
+    return warm;
+  }();
+
+  // Serial reference rows.
+  const std::size_t dim = extractor.dimension();
+  std::vector<float> expected(trace.size() * dim);
+  {
+    lfo::features::FeatureScratch scratch;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      std::span<float> row{expected.data() + i * dim, dim};
+      extractor.extract(trace[i], trace.size() + i, 1 << 20, row, scratch);
+    }
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> mismatches{0};
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      // One scratch per thread — the documented thread-safety contract.
+      lfo::features::FeatureScratch scratch;
+      std::vector<float> row(dim);
+      for (std::size_t i = static_cast<std::size_t>(t); i < trace.size();
+           i += kThreads) {
+        extractor.extract(trace[i], trace.size() + i, 1 << 20, row, scratch);
+        for (std::size_t f = 0; f < dim; ++f) {
+          if (row[f] != expected[i * dim + f]) ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0u);
 }
 
 TEST(SweepStress, ParallelSweepMatchesSerialSweep) {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Build the bench harnesses in Release and run the Fig 7 serving-throughput
+# bench with machine-readable output.
+#
+#   tools/run_bench.sh [extra bench_fig7_throughput flags...]
+#
+# Writes BENCH_fig7.json (predictions/sec and ns/request per inference
+# engine, speedups, decision-identity checks, git revision) into the repo
+# root; the human-readable CSV goes to stdout as usual. Pass a different
+# --json=<path> to relocate the JSON, or e.g. --predict-requests=200000 to
+# rescale the workload.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+JSON_OUT="BENCH_fig7.json"
+EXTRA_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --json=*) JSON_OUT="${arg#--json=}" ;;
+    *) EXTRA_ARGS+=("$arg") ;;
+  esac
+done
+
+printf '\n=== bench: Release build ===\n'
+cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release
+cmake --build build-perf --target bench_fig7_throughput -j "$JOBS"
+
+printf '\n=== bench: fig7 throughput (json -> %s) ===\n' "$JSON_OUT"
+./build-perf/bench/bench_fig7_throughput --json="$JSON_OUT" \
+    ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}
+
+printf '\n=== %s ===\n' "$JSON_OUT"
+cat "$JSON_OUT"

@@ -2,19 +2,23 @@
 # Static-analysis and dynamic-correctness gate for libLFO.
 #
 #   tools/run_static_checks.sh [--skip-asan] [--skip-tsan] [--skip-tidy]
-#                              [--skip-obs]
+#                              [--skip-obs] [--skip-perf]
 #
 # Runs, in order:
 #   1. asan-ubsan preset: configure, build the test suite, run ctest under
 #      AddressSanitizer + UndefinedBehaviorSanitizer (LFO_DCHECKs on).
 #   2. tsan preset: configure, build, run the "stress" ctest label
-#      (ThreadPool, parallel sweep, async retraining pipeline) under
-#      ThreadSanitizer.
+#      (ThreadPool, parallel sweep, async retraining pipeline, concurrent
+#      const feature extraction) under ThreadSanitizer.
 #   3. obs gate: build with -DLFO_METRICS=ON and =OFF, run tier1 under
 #      both, and diff the golden-trace decision counts across the two
 #      builds — instrumentation must be provably decision-neutral even
 #      when compiled out.
-#   4. clang-tidy over src/ (including src/obs) via the asan build's
+#   4. perf smoke: Release build, then `ctest -L perfsmoke` — the
+#      flat-forest-vs-tree-walk golden decision diff and the
+#      instrumented-operator-new zero-allocation hot-path test, whose
+#      strict assertions only arm in optimized unsanitized builds.
+#   5. clang-tidy over src/ (including src/obs) via the asan build's
 #      compile_commands.json with the repo .clang-tidy config (skipped
 #      with a warning when no clang-tidy binary is installed, e.g.
 #      gcc-only containers).
@@ -32,12 +36,14 @@ SKIP_ASAN=0
 SKIP_TSAN=0
 SKIP_TIDY=0
 SKIP_OBS=0
+SKIP_PERF=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-tidy) SKIP_TIDY=1 ;;
     --skip-obs) SKIP_OBS=1 ;;
+    --skip-perf) SKIP_PERF=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -89,6 +95,17 @@ if [[ "$SKIP_OBS" -eq 0 ]]; then
       || { echo "obs gate: instrumentation changed golden decisions" >&2
            exit 1; }
   echo "obs gate: golden decision counts identical across ON/OFF"
+fi
+
+if [[ "$SKIP_PERF" -eq 0 ]]; then
+  banner "perf smoke: Release build + ctest -L perfsmoke"
+  cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-perf --target test_flat_forest \
+        --target test_hotpath_alloc -j "$JOBS"
+  # Strict gates: the flat engine must be decision-identical to the tree
+  # walk and the warm serving path must perform zero heap allocations
+  # (NDEBUG + no sanitizer arms the EXPECT_EQ(delta, 0) assertions).
+  ctest --test-dir build-perf -L perfsmoke --output-on-failure -j "$JOBS"
 fi
 
 if [[ "$SKIP_TIDY" -eq 0 ]]; then
