@@ -263,6 +263,26 @@ int main(int argc, char** argv) {
   std::cout << "# identical decisions (flat vs tree-walk engine): "
             << (engines_same_decisions ? "yes" : "NO (bug)") << '\n';
 
+  // Rollout guard A/B: the serial runs above use the default
+  // health-gated activation (core::RolloutGuard); rerun with the guard
+  // disabled (unconditional swaps, the pre-guard behaviour). With no
+  // training faults the guard must be decision-invisible, and its cost
+  // — one gate evaluation per window boundary — must vanish in the
+  // wall-clock noise.
+  auto unguarded_config = wconfig;
+  unguarded_config.rollout.enabled = false;
+  const auto [unguarded_secs, unguarded_result] =
+      timed_pipeline(pipe_trace, unguarded_config, /*async=*/false,
+                     train_threads);
+  const bool guard_same_decisions =
+      core::same_decisions(sync_result, unguarded_result);
+  const double guard_overhead_pct =
+      (sync_secs / unguarded_secs - 1.0) * 100.0;
+  std::cout << "# identical decisions (guarded vs unguarded rollout): "
+            << (guard_same_decisions ? "yes" : "NO (bug)")
+            << "; guard wall-clock delta " << guard_overhead_pct
+            << "% (expected: noise)\n";
+
   // --- Observability overhead: the same async pipeline with the whole
   // obs layer runtime-disabled vs fully enabled (metrics + tracing).
   // Both modes must make identical decisions, and the enabled run must
@@ -336,6 +356,8 @@ int main(int argc, char** argv) {
         .set("engines_bitwise_identical", bitwise_identical)
         .set("engines_same_decisions", engines_same_decisions)
         .set("async_pipeline_speedup", sync_secs / async_secs)
+        .set("rollout_guard_same_decisions", guard_same_decisions)
+        .set("rollout_guard_overhead_pct", guard_overhead_pct)
         .set("obs_overhead_pct", overhead_pct);
     doc.write_file(json_path);
     std::cout << "# wrote " << json_path << '\n';

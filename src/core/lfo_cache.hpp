@@ -61,7 +61,10 @@ class LfoCache : public cache::CachePolicy {
   /// window t serves window t+1). The history table is retained. Must be
   /// called from the serving thread (the windowed pipelines do, at
   /// window boundaries); with rescore_on_swap it batch-re-ranks every
-  /// cached entry under the new model.
+  /// cached entry under the new model. Passing nullptr reverts to the
+  /// heuristic bootstrap mode (admit-all, likelihood 0.5) — the rollout
+  /// guard's fallback path; cached entries and the feature history
+  /// survive the transition.
   void swap_model(std::shared_ptr<const LfoModel> model);
   bool has_model() const { return model_ != nullptr; }
   /// The currently serving model (null during bootstrap).

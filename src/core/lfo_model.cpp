@@ -137,7 +137,8 @@ TrainResult train_on_window(std::span<const trace::Request> window,
   t0 = Clock::now();
   auto booster = gbdt::train(dataset, config.gbdt);
   result.train_seconds = seconds_since(t0);
-  result.train_accuracy = gbdt::accuracy(booster, dataset, config.cutoff);
+  result.train_confusion = gbdt::confusion(booster, dataset, config.cutoff);
+  result.train_accuracy = result.train_confusion.accuracy();
   result.model = std::make_shared<const LfoModel>(std::move(booster),
                                                   config.features);
   return result;

@@ -106,6 +106,10 @@ struct TrainResult {
   std::shared_ptr<const LfoModel> model;
   opt::OptDecisions opt;           ///< the labels used
   double train_accuracy = 0.0;     ///< agreement with OPT on the window
+  /// In-sample confusion at the cutoff; train_accuracy is its
+  /// accuracy(). The rollout gate derives the model-vs-OPT admit-share
+  /// delta from it ((tp+fp)/total vs (tp+fn)/total).
+  util::BinaryConfusion train_confusion;
   double opt_seconds = 0.0;
   double train_seconds = 0.0;
   std::size_t num_samples = 0;

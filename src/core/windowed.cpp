@@ -5,6 +5,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -92,37 +93,98 @@ struct TrainedWindow {
   bool evaluated = false;
   obs::DriftScore drift;  ///< only meaningful when `drift_valid`
   bool drift_valid = false;
+  /// Attempts consumed (1 = first try succeeded); train_failed is set
+  /// when every attempt failed — result.model is null then and the
+  /// rollout guard rejects the candidate.
+  std::uint32_t train_attempts = 0;
+  bool train_failed = false;
   Clock::time_point started;
   Clock::time_point finished;
 };
 
 TrainedWindow train_window_task(
-    std::span<const trace::Request> window, const LfoConfig& config,
-    std::shared_ptr<const LfoModel> serving,
+    std::span<const trace::Request> window, const WindowedConfig& config,
+    std::size_t window_index, std::shared_ptr<const LfoModel> serving,
     std::shared_ptr<const obs::FeatureSummary> serving_summary) {
   LFO_TRACE_SPAN("train_window");
   TrainedWindow out;
   out.started = Clock::now();
-  out.result = train_on_window(window, config);
-  if (serving) {
-    out.confusion =
-        evaluate_predictions(*serving, window, out.result.opt,
-                             config.cache_size, config.cutoff);
-    out.evaluated = true;
-    out.prediction_error = 1.0 - out.confusion.accuracy();
+  // Bounded retry with (optional, wall-clock-only) backoff: a failed
+  // attempt — an injected fault or a real exception out of
+  // train_on_window — is retried up to max_train_retries times before
+  // the job counts as failed and the guard keeps the last-good model.
+  const std::uint32_t max_attempts = 1 + config.rollout.max_train_retries;
+  for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    out.train_attempts = attempt;
+    if (attempt > 1) {
+      LFO_COUNTER_INC("lfo_train_retries_total");
+      if (config.rollout.retry_backoff_seconds > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            config.rollout.retry_backoff_seconds *
+            static_cast<double>(attempt - 1)));
+      }
+    }
+    try {
+      if (config.train_fault && config.train_fault(window_index, attempt)) {
+        throw std::runtime_error("injected training fault");
+      }
+      out.result = train_on_window(window, config.lfo);
+      out.train_failed = false;
+      break;
+    } catch (const std::exception& e) {
+      LFO_COUNTER_INC("lfo_train_failures_total");
+      util::log_warn("rollout: training job for window ", window_index,
+                     " attempt ", attempt, "/", max_attempts,
+                     " failed: ", e.what());
+      out.train_failed = true;
+    }
   }
-  if (serving_summary && out.result.feature_summary) {
-    out.drift =
-        obs::feature_drift(*serving_summary, *out.result.feature_summary);
-    out.drift_valid = true;
+  if (!out.train_failed) {
+    if (serving) {
+      out.confusion =
+          evaluate_predictions(*serving, window, out.result.opt,
+                               config.lfo.cache_size, config.lfo.cutoff);
+      out.evaluated = true;
+      out.prediction_error = 1.0 - out.confusion.accuracy();
+    }
+    if (serving_summary && out.result.feature_summary) {
+      out.drift =
+          obs::feature_drift(*serving_summary, *out.result.feature_summary);
+      out.drift_valid = true;
+    }
   }
   out.finished = Clock::now();
   return out;
 }
 
+/// Assemble the gate's view of a trained (or failed) candidate.
+RolloutCandidate candidate_of(const TrainedWindow& trained) {
+  RolloutCandidate candidate;
+  candidate.train_failed = trained.train_failed;
+  if (trained.train_failed) return candidate;
+  candidate.train_accuracy = trained.result.train_accuracy;
+  const auto& confusion = trained.result.train_confusion;
+  if (confusion.total() > 0) {
+    const auto total = static_cast<double>(confusion.total());
+    candidate.model_admit_share =
+        static_cast<double>(confusion.tp() + confusion.fp()) / total;
+    candidate.opt_admit_share =
+        static_cast<double>(confusion.tp() + confusion.fn()) / total;
+  }
+  if (trained.drift_valid) candidate.feature_drift = trained.drift.mean_score;
+  return candidate;
+}
+
 /// Copy the training task's diagnostics into the window's report.
 void fill_training_report(WindowReport& report, const TrainedWindow& trained,
                           double drift_warn_threshold) {
+  report.rollout.train_attempts = trained.train_attempts;
+  report.rollout.train_failed = trained.train_failed;
+  if (trained.train_failed) {
+    // No model, no OPT labels: the serving/training diagnostics keep
+    // their "undefined" defaults; only the attempt record is real.
+    return;
+  }
   report.train_accuracy = trained.result.train_accuracy;
   report.opt_seconds = trained.result.opt_seconds;
   report.train_seconds = trained.result.train_seconds;
@@ -176,7 +238,25 @@ void emit_report(const WindowedConfig& config, const WindowReport& report) {
     LFO_HISTOGRAM_OBSERVE_SECONDS("lfo_train_seconds",
                                   report.train_seconds);
   }
-  if (config.window_hook) config.window_hook(report);
+  LFO_GAUGE_SET("lfo_rollout_state",
+                static_cast<double>(static_cast<int>(report.rollout.state)));
+  if (config.window_hook) {
+    // The header's contract says the hook must not throw: enforce it.
+    // An unwinding hook would corrupt the pipeline mid-flight (and in
+    // async mode std::terminate a training worker), so fail fast with
+    // the offending window instead.
+    try {
+      config.window_hook(report);
+    } catch (const std::exception& e) {
+      LFO_CHECK(false) << "WindowedConfig::window_hook threw for window "
+                       << report.index
+                       << " (contract: must not throw): " << e.what();
+    } catch (...) {
+      LFO_CHECK(false) << "WindowedConfig::window_hook threw a "
+                          "non-std::exception for window "
+                       << report.index << " (contract: must not throw)";
+    }
+  }
 }
 
 /// Swap a freshly activated model into the cache (spanned: with
@@ -188,6 +268,70 @@ void swap_model_into(LfoCache& cache,
   cache.swap_model(std::move(model));
 }
 
+/// Run the candidate due at the end of `window_index` through the
+/// rollout guard and apply its verdict: swap on activate, clear the
+/// model on fallback, keep the last-good model on reject. Records the
+/// decision on the current window's report and counts every transition
+/// in the metrics registry. Shared by the sync and async drivers so the
+/// guard sees the identical candidate sequence in both.
+void apply_rollout(RolloutGuard& guard, LfoCache& cache,
+                   WindowedResult& result, std::size_t window_index,
+                   std::size_t trained_on,
+                   std::shared_ptr<const LfoModel> model,
+                   std::shared_ptr<const obs::FeatureSummary> summary,
+                   const RolloutCandidate& candidate,
+                   std::shared_ptr<const obs::FeatureSummary>&
+                       serving_summary) {
+  const RolloutVerdict verdict = guard.evaluate(candidate);
+  auto& current = result.windows[window_index].rollout;
+  current.decision = verdict.decision;
+  current.reason = verdict.reason;
+  switch (verdict.decision) {
+    case RolloutDecision::kActivated:
+      LFO_COUNTER_INC("lfo_rollout_activated_total");
+      break;
+    case RolloutDecision::kRejected:
+      LFO_COUNTER_INC("lfo_rollout_rejected_total");
+      util::log_warn("rollout: window ", window_index,
+                     " rejected the model trained on window ", trained_on,
+                     ": ", verdict.reason);
+      break;
+    case RolloutDecision::kFallback:
+      LFO_COUNTER_INC("lfo_rollout_rejected_total");
+      LFO_COUNTER_INC("lfo_rollout_fallback_total");
+      util::log_warn("rollout: window ", window_index,
+                     " entered heuristic fallback: ", verdict.reason);
+      break;
+    case RolloutDecision::kRecovered:
+      LFO_COUNTER_INC("lfo_rollout_activated_total");
+      LFO_COUNTER_INC("lfo_rollout_recovered_total");
+      util::log_info("rollout: window ", window_index,
+                     " recovered from fallback (model trained on window ",
+                     trained_on, ")");
+      break;
+    case RolloutDecision::kNone:
+      break;
+  }
+  if (verdict.activate) {
+    result.windows[trained_on].pipeline.training_lag_windows =
+        static_cast<std::uint32_t>(window_index - trained_on);
+    serving_summary = std::move(summary);
+    swap_model_into(cache, std::move(model));
+  } else if (verdict.clear_model) {
+    LFO_COUNTER_INC("lfo_models_cleared_total");
+    serving_summary = nullptr;
+    cache.swap_model(nullptr);
+  }
+}
+
+/// Stamp the guard's post-boundary state onto the window's report (done
+/// every window, whether or not a candidate was due).
+void record_rollout_state(const RolloutGuard& guard, WindowReport& report) {
+  report.rollout.state = guard.state();
+  report.rollout.consecutive_rejections = guard.consecutive_rejections();
+  report.rollout.drift_streak = guard.drift_streak();
+}
+
 /// Synchronous reference pipeline: OPT + train run inline between
 /// windows. This is the schedule the async path must reproduce exactly.
 WindowedResult run_sync(const trace::Trace& trace,
@@ -196,13 +340,18 @@ WindowedResult run_sync(const trace::Trace& trace,
   WindowedResult result;
   LfoCache cache(config.lfo.cache_size, config.lfo.features,
                  config.lfo.cutoff);
+  RolloutGuard guard(config.rollout);
   // Models waiting out their activation lag (front = oldest), with the
-  // index of the window they were trained on and that window's feature
-  // summary (the drift baseline once the model starts serving).
+  // index of the window they were trained on, that window's feature
+  // summary (the drift baseline once the model starts serving) and the
+  // gate's view of the candidate. Failed training jobs queue too — the
+  // pop schedule must not depend on training outcomes — and are
+  // rejected by the guard when they surface.
   struct PendingModel {
     std::shared_ptr<const LfoModel> model;
     std::shared_ptr<const obs::FeatureSummary> summary;
     std::size_t trained_on = 0;
+    RolloutCandidate candidate;
   };
   std::deque<PendingModel> pending;
   // Summary of the window the *currently serving* model was trained on.
@@ -226,21 +375,22 @@ WindowedResult run_sync(const trace::Trace& trace,
     // and a model already serves).
     if (config.retrain || !cache.has_model()) {
       LFO_COUNTER_INC("lfo_train_jobs_total");
-      const auto trained = train_window_task(window, config.lfo,
+      const auto trained = train_window_task(window, config, window_index,
                                              cache.model(), serving_summary);
       fill_training_report(report, trained, config.drift_warn_threshold);
       pending.push_back({trained.result.model,
-                         trained.result.feature_summary, window_index});
+                         trained.result.feature_summary, window_index,
+                         candidate_of(trained)});
     }
     result.windows.push_back(report);
     if (pending.size() > config.swap_lag) {
       PendingModel next = std::move(pending.front());
       pending.pop_front();
-      result.windows[next.trained_on].pipeline.training_lag_windows =
-          static_cast<std::uint32_t>(window_index - next.trained_on);
-      serving_summary = std::move(next.summary);
-      swap_model_into(cache, std::move(next.model));
+      apply_rollout(guard, cache, result, window_index, next.trained_on,
+                    std::move(next.model), std::move(next.summary),
+                    next.candidate, serving_summary);
     }
+    record_rollout_state(guard, result.windows[window_index]);
     emit_report(config, result.windows[window_index]);
     ++window_index;
   }
@@ -270,6 +420,7 @@ WindowedResult run_async(const trace::Trace& trace,
   WindowedResult result;
   LfoCache cache(config.lfo.cache_size, config.lfo.features,
                  config.lfo.cutoff);
+  RolloutGuard guard(config.rollout);
   const std::size_t pool_size =
       config.train_threads != 0
           ? config.train_threads
@@ -318,21 +469,24 @@ WindowedResult run_async(const trace::Trace& trace,
 
     // cache.has_model() flips at the same swap points as in run_sync, so
     // this trains-or-not decision matches the sync schedule exactly.
+    bool emit_current = false;
     if (config.retrain || !cache.has_model()) {
       LFO_COUNTER_INC("lfo_train_jobs_total");
       TrainJob job;
       job.report_index = result.windows.size() - 1;
       job.window_index = window_index;
-      job.trained = pool.submit([window, lfo = config.lfo,
+      job.trained = pool.submit([window, &config, window_index,
                                  serving = cache.model(),
                                  baseline = serving_summary] {
         LFO_TRACE_THREAD_LABEL("train");
-        return train_window_task(window, lfo, serving, baseline);
+        return train_window_task(window, config, window_index, serving,
+                                 baseline);
       });
       jobs.push_back(std::move(job));
     } else {
-      // No training diagnostics will ever arrive: complete immediately.
-      emit_report(config, result.windows.back());
+      // No training diagnostics will ever arrive: complete once the
+      // boundary below has recorded this window's rollout state.
+      emit_current = true;
     }
     if (jobs.size() > config.swap_lag) {
       TrainJob job = std::move(jobs.front());
@@ -340,12 +494,18 @@ WindowedResult run_async(const trace::Trace& trace,
       const auto trained_on = job.window_index;
       const auto report_index = job.report_index;
       TrainedWindow trained = finish_job(std::move(job));
-      result.windows[report_index].pipeline.training_lag_windows =
-          static_cast<std::uint32_t>(window_index - trained_on);
-      serving_summary = trained.result.feature_summary;
-      swap_model_into(cache, std::move(trained.result.model));
+      apply_rollout(guard, cache, result, window_index, trained_on,
+                    std::move(trained.result.model),
+                    std::move(trained.result.feature_summary),
+                    candidate_of(trained), serving_summary);
+      // Stamp the current window's post-boundary state before any emit:
+      // with swap_lag == 0 the popped report IS the current window's.
+      record_rollout_state(guard, result.windows[window_index]);
       emit_report(config, result.windows[report_index]);
+    } else {
+      record_rollout_state(guard, result.windows[window_index]);
     }
+    if (emit_current) emit_report(config, result.windows[window_index]);
     ++window_index;
   }
 
@@ -404,6 +564,17 @@ bool same_decisions(const WindowedResult& a, const WindowedResult& b) {
         ha.admission_rate != hb.admission_rate ||
         ha.bhr_delta != hb.bhr_delta ||
         ha.drift_warning != hb.drift_warning) {
+      return false;
+    }
+    // The rollout guard feeds back into decisions, so its per-window
+    // record must agree exactly: same state, same gate decision, same
+    // training outcome. (train_attempts is excluded — a stateful fault
+    // hook may legitimately vary the attempt count without changing the
+    // final outcome the decisions depend on.)
+    const auto& ra = wa.rollout;
+    const auto& rb = wb.rollout;
+    if (ra.state != rb.state || ra.decision != rb.decision ||
+        ra.train_failed != rb.train_failed) {
       return false;
     }
   }

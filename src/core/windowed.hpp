@@ -8,6 +8,7 @@
 #include "cache/policy.hpp"
 #include "core/lfo_cache.hpp"
 #include "core/lfo_model.hpp"
+#include "core/rollout.hpp"
 #include "obs/model_health.hpp"
 #include "trace/trace.hpp"
 
@@ -52,9 +53,31 @@ struct WindowedConfig {
   /// model health). In async mode completion follows the training
   /// pipeline, so invocation order can differ from window order, and
   /// pipeline.training_lag_windows of a lagged window may still be
-  /// pending. Must not throw; reading the report cannot change caching
-  /// decisions.
+  /// pending. Must not throw — the contract is enforced: a throwing
+  /// hook fails fast via LFO_CHECK instead of unwinding mid-pipeline
+  /// (and possibly terminating a background training worker). Reading
+  /// the report cannot change caching decisions.
   std::function<void(const WindowReport&)> window_hook;
+  /// Health-gated model rollout (core::RolloutGuard): freshly trained
+  /// models are shadow-scored against the last served window before
+  /// activation; failing models are rejected (last-good model keeps
+  /// serving) and sustained failure/drift falls back to the heuristic
+  /// bootstrap mode until a model re-qualifies. Defaults activate every
+  /// golden-trace model, so decisions match the unguarded pipeline
+  /// exactly (verified in tests/test_rollout.cpp).
+  RolloutConfig rollout;
+  /// Test-only fault injection: when set, called once per training
+  /// attempt (attempt starts at 1) for the job trained on
+  /// `window_index`; returning true fails that attempt as if the
+  /// training job crashed or timed out. Failed attempts retry up to
+  /// RolloutConfig::max_train_retries times (with optional wall-clock
+  /// backoff); a job whose every attempt fails produces a
+  /// train_failed candidate that the guard rejects. Must be
+  /// deterministic in (window_index, attempt) for decision-determinism
+  /// guarantees to hold; may be called from training threads in async
+  /// mode.
+  std::function<bool(std::size_t window_index, std::uint32_t attempt)>
+      train_fault;
 };
 
 /// Observability of the (a)synchronous retraining pipeline, per window.
@@ -103,6 +126,13 @@ struct WindowReport {
   // BHR deltas (see obs::ModelHealth). Deterministic diagnostics; they
   // never feed back into decisions.
   obs::ModelHealth health;
+  // Rollout-guard record: the gate decision taken at this window's
+  // boundary, the guard state after it, and the training attempts of
+  // the job trained on this window. Unlike `health`, the guard DOES
+  // feed back into decisions (that is its job) — state / decision /
+  // train_failed are part of the decision record and compared by
+  // same_decisions().
+  RolloutStatus rollout;
 };
 
 /// Result of replaying a trace through the windowed pipeline.
@@ -122,10 +152,11 @@ WindowedResult run_windowed_lfo(const trace::Trace& trace,
 
 /// True iff two runs made identical caching decisions and produced
 /// identical quality metrics: overall stats, bypass/demotion counters and
-/// every per-window decision field compare exactly. Wall-clock fields
-/// (opt_seconds, train_seconds, PipelineStats) are ignored — they are the
-/// only fields allowed to differ between sync and async execution, or
-/// across thread counts.
+/// every per-window decision field compare exactly — including the
+/// rollout guard's state / decision / train_failed record. Wall-clock
+/// fields (opt_seconds, train_seconds, PipelineStats) are ignored — they
+/// are the only fields allowed to differ between sync and async
+/// execution, or across thread counts.
 bool same_decisions(const WindowedResult& a, const WindowedResult& b);
 
 }  // namespace lfo::core

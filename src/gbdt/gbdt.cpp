@@ -570,16 +570,20 @@ double logloss(const Model& model, const Dataset& data) {
 
 double accuracy(const Model& model, const Dataset& data, double cutoff) {
   if (data.num_rows() == 0) return 0.0;
+  return confusion(model, data, cutoff).accuracy();
+}
+
+util::BinaryConfusion confusion(const Model& model, const Dataset& data,
+                                double cutoff) {
+  util::BinaryConfusion out;
+  if (data.num_rows() == 0) return out;
   std::vector<double> proba(data.num_rows());
   model.predict_proba_batch(data.features_matrix(), data.num_features(),
                             proba);
-  std::size_t correct = 0;
   for (std::size_t r = 0; r < data.num_rows(); ++r) {
-    const bool pred = proba[r] >= cutoff;
-    const bool actual = data.label(r) > 0.5f;
-    if (pred == actual) ++correct;
+    out.add(proba[r] >= cutoff, data.label(r) > 0.5f);
   }
-  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+  return out;
 }
 
 }  // namespace lfo::gbdt

@@ -9,6 +9,7 @@
 
 #include "gbdt/dataset.hpp"
 #include "gbdt/tree.hpp"
+#include "util/stats.hpp"
 
 namespace lfo::util {
 class ThreadPool;
@@ -124,6 +125,13 @@ double logloss(const Model& model, const Dataset& data);
 
 /// Accuracy at the given probability cutoff.
 double accuracy(const Model& model, const Dataset& data, double cutoff = 0.5);
+
+/// Full confusion matrix at the given probability cutoff. accuracy() is
+/// confusion().accuracy(); the rollout gate additionally derives the
+/// model's and OPT's admit shares ((tp+fp)/total vs (tp+fn)/total) from
+/// it, so one batched prediction pass serves both.
+util::BinaryConfusion confusion(const Model& model, const Dataset& data,
+                                double cutoff = 0.5);
 
 }  // namespace lfo::gbdt
 

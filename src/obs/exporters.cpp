@@ -1,6 +1,7 @@
 #include "obs/exporters.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 
@@ -14,6 +15,12 @@ std::string number_text(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+/// JSON has no NaN/Inf literals: empty-histogram quantiles (NaN per
+/// LatencyHistogram::quantile) become null so the line stays parseable.
+std::string json_number_or_null(double v) {
+  return std::isfinite(v) ? number_text(v) : "null";
 }
 
 }  // namespace
@@ -109,9 +116,9 @@ void write_jsonl_snapshot(std::ostream& os, std::string_view label) {
     first = false;
     os << '"' << json_escaped(h.name) << "\":{\"count\":" << h.count
        << ",\"sum_seconds\":" << number_text(h.sum_seconds)
-       << ",\"p50\":" << number_text(h.p50)
-       << ",\"p90\":" << number_text(h.p90)
-       << ",\"p99\":" << number_text(h.p99) << '}';
+       << ",\"p50\":" << json_number_or_null(h.p50)
+       << ",\"p90\":" << json_number_or_null(h.p90)
+       << ",\"p99\":" << json_number_or_null(h.p99) << '}';
   }
   os << "}}\n";
 }

@@ -2,6 +2,7 @@
 #define LFO_OBS_MODEL_HEALTH_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -35,6 +36,38 @@ struct DriftScore {
 
 DriftScore feature_drift(const FeatureSummary& baseline,
                          const FeatureSummary& current);
+
+/// Counts consecutive windows whose drift score sat at or above a
+/// threshold ("sustained drift", as opposed to the one-shot
+/// drift_warning on WindowReport). The rollout guard uses it as the
+/// fallback trigger: a single noisy window must not abandon a model,
+/// but `trigger_windows` in a row mean the serving model's training
+/// distribution is gone. threshold <= 0 disables it (never triggers).
+class DriftTracker {
+ public:
+  DriftTracker(double threshold, std::uint32_t trigger_windows)
+      : threshold_(threshold), trigger_windows_(trigger_windows) {}
+
+  /// Feed one window's mean drift score. Negative scores mean "drift
+  /// unknown" (no serving model / failed training) and leave the streak
+  /// untouched: a gap in the signal is not evidence the drift ended.
+  void observe(double drift) {
+    if (threshold_ <= 0.0 || drift < 0.0) return;
+    streak_ = drift >= threshold_ ? streak_ + 1 : 0;
+  }
+  void reset() { streak_ = 0; }
+
+  std::uint32_t streak() const { return streak_; }
+  bool triggered() const {
+    return threshold_ > 0.0 && trigger_windows_ > 0 &&
+           streak_ >= trigger_windows_;
+  }
+
+ private:
+  double threshold_;
+  std::uint32_t trigger_windows_;
+  std::uint32_t streak_ = 0;
+};
 
 /// Online model-health readout for one window of the LFO pipeline,
 /// surfaced on core::WindowReport. Fields default to -1 ("undefined")

@@ -34,6 +34,35 @@ void AuditedPolicy::clear() {
   mirror_used_bytes();
 }
 
+void AuditedPolicy::audit_full() {
+  // Sweep the whole shadow at once instead of probe_budget entries per
+  // access. An object the shadow saw admitted may have been evicted since
+  // (that is reconciled, not a violation), but one the inner policy still
+  // reports resident must match the size bound we recorded.
+  std::vector<trace::ObjectId> gone;
+  std::uint64_t resident_bytes = 0;
+  for (const auto& [object, size] : shadow_) {
+    if (inner_->contains(object)) {
+      resident_bytes += size;
+    } else {
+      gone.push_back(object);
+    }
+  }
+  for (const auto object : gone) {
+    shadow_.erase(object);
+    ++observed_evictions_;
+  }
+  probe_cycle_.clear();  // snapshot is stale after the sweep
+  if (config_.check_byte_accounting) {
+    LFO_CHECK_LE(inner_->used_bytes(), inner_->capacity())
+        << inner_->name() << ": over capacity at full audit";
+    LFO_CHECK_GE(inner_->used_bytes(), resident_bytes)
+        << inner_->name() << ": used bytes below the sum of resident "
+        << "shadow entries (" << shadow_.size() << " objects)";
+  }
+  mirror_used_bytes();
+}
+
 void AuditedPolicy::on_hit(const trace::Request& request) {
   run_audited(request, /*expected_hit=*/true);
 }

@@ -49,6 +49,12 @@ class AuditedPolicy final : public cache::CachePolicy {
   void clear() override;
 
   const cache::CachePolicy& inner() const { return *inner_; }
+  /// Full shadow reconciliation: probes EVERY shadow entry against
+  /// contains() (ignoring probe_budget) and re-checks the byte bounds.
+  /// Intended for lifecycle boundaries — model swap, fallback to the
+  /// heuristic, recovery — where an incremental per-request audit could
+  /// let a transition bug hide behind the round-robin probe lag.
+  void audit_full();
   /// Evictions the shadow has observed (via probes and request misses).
   std::uint64_t observed_evictions() const { return observed_evictions_; }
   /// Objects the shadow currently believes resident (an over-estimate:

@@ -1,5 +1,6 @@
 #include "trace/io.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -27,6 +28,24 @@ std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
   std::ofstream out(path, mode);
   if (!out) fail("cannot open for writing: " + path);
   return out;
+}
+
+/// Reject degenerate records regardless of the wire format. A size-0
+/// request corrupts byte-hit accounting (0-byte "hits" inflate BHR and
+/// produce zero-capacity MCMF arcs); a negative or non-finite cost
+/// poisons every cost-weighted metric and the flow network's costs.
+/// `where` names the record for the error ("line 12" / "record 3").
+void validate_record(const Request& r, const std::string& where) {
+  if (r.size == 0) {
+    fail(where + ": size must be > 0 (zero-byte objects corrupt "
+                 "byte-hit accounting and MCMF capacities)");
+  }
+  if (std::isnan(r.cost) || std::isinf(r.cost)) {
+    fail(where + ": cost must be finite");
+  }
+  if (r.cost < 0.0) {
+    fail(where + ": cost must be >= 0");
+  }
 }
 }  // namespace
 
@@ -65,6 +84,7 @@ Trace read_text_trace(std::istream& in) {
     } else {
       r.cost = static_cast<double>(r.size);  // BHR cost model default
     }
+    validate_record(r, "line " + std::to_string(lineno));
     reqs.push_back(r);
   }
   densify_object_ids(reqs);
@@ -103,10 +123,13 @@ Trace read_binary_trace(std::istream& in) {
   if (!in) fail("truncated header");
   std::vector<Request> reqs;
   reqs.resize(count);
+  std::size_t index = 0;
   for (auto& r : reqs) {
     in.read(reinterpret_cast<char*>(&r.object), sizeof r.object);
     in.read(reinterpret_cast<char*>(&r.size), sizeof r.size);
     in.read(reinterpret_cast<char*>(&r.cost), sizeof r.cost);
+    if (in) validate_record(r, "record " + std::to_string(index));
+    ++index;
   }
   if (!in) fail("truncated body");
   return Trace(std::move(reqs));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace lfo::util {
@@ -53,7 +54,7 @@ void Percentiles::ensure_sorted_locked() const {
 }
 
 double Percentiles::quantile_locked(double q) const {
-  if (xs_.empty()) return 0.0;
+  if (xs_.empty()) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(xs_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);

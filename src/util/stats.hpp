@@ -54,9 +54,12 @@ class Percentiles {
     const std::lock_guard<std::mutex> lock(mu_);
     return xs_.size();
   }
+  bool empty() const { return count() == 0; }
 
   /// q in [0,1]; linear interpolation between order statistics.
-  /// Returns 0 when empty.
+  /// Returns quiet NaN when no samples were added — a real measurement
+  /// of 0.0 and "no data" used to be indistinguishable (both returned
+  /// 0.0), which silently corrupted aggregated result tables.
   double quantile(double q) const;
   /// Batch query: one sort, one lock acquisition for all of `qs`.
   std::vector<double> quantiles(std::span<const double> qs) const;

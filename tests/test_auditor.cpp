@@ -15,6 +15,8 @@
 
 #include "cache/factory.hpp"
 #include "cache/policy.hpp"
+#include "core/lfo_cache.hpp"
+#include "core/lfo_model.hpp"
 #include "sim/auditor.hpp"
 #include "trace/generator.hpp"
 #include "trace/trace.hpp"
@@ -114,6 +116,57 @@ TEST(AuditedPolicy, ClearResetsResidencyEverywhere) {
     // Stats survive clear() by contract.
     EXPECT_EQ(audited->stats().requests, trace.size());
   }
+}
+
+TEST(AuditedPolicy, FullAuditSurvivesModelSwapAndFallbackTransitions) {
+  // The rollout guard's lifecycle on the serving cache: bootstrap ->
+  // model swap -> fallback (swap_model(nullptr)) -> recovery. Each
+  // transition re-ranks or re-routes admissions, which is exactly where
+  // an incremental audit could lag behind; audit_full() sweeps the whole
+  // shadow at each boundary.
+  const auto trace = lfo::trace::generate_zipf_trace(4000, 400, 0.9, 21);
+  lfo::core::LfoConfig lfo_config;
+  lfo_config.set_cache_size(trace.unique_bytes() / 8);
+  lfo_config.features.num_gaps = 6;
+  lfo_config.gbdt.num_iterations = 4;
+
+  auto inner = std::make_unique<lfo::core::LfoCache>(
+      lfo_config.cache_size, lfo_config.features, lfo_config.cutoff);
+  auto* lfo = inner.get();
+  AuditConfig audit_config;
+  audit_config.allow_evict_on_hit = true;  // LFO may demote-then-evict
+  AuditedPolicy audited(std::move(inner), audit_config);
+
+  const std::size_t window = trace.size() / 4;
+  const auto replay_window = [&](std::size_t index) {
+    for (const auto& r : trace.window(index * window, window)) {
+      audited.access(r);
+    }
+    audited.audit_full();
+  };
+
+  replay_window(0);  // bootstrap heuristic
+  const auto trained =
+      lfo::core::train_on_window(trace.window(0, window), lfo_config);
+  ASSERT_NE(trained.model, nullptr);
+  lfo->swap_model(trained.model);  // bootstrap -> serving
+  audited.audit_full();
+  replay_window(1);
+
+  lfo->swap_model(nullptr);  // serving -> heuristic fallback
+  audited.audit_full();
+  EXPECT_FALSE(lfo->has_model());
+  replay_window(2);
+
+  const auto retrained = lfo::core::train_on_window(
+      trace.window(2 * window, window), lfo_config);
+  ASSERT_NE(retrained.model, nullptr);
+  lfo->swap_model(retrained.model);  // fallback -> recovered
+  audited.audit_full();
+  replay_window(3);
+
+  EXPECT_EQ(audited.stats().requests, 4 * window);
+  EXPECT_EQ(audited.used_bytes(), audited.inner().used_bytes());
 }
 
 // --- the auditor must catch broken policies ------------------------------

@@ -327,7 +327,8 @@ TEST(LatencyHistogram, BucketsAndQuantiles) {
   EXPECT_LT(h.quantile(0.99), 5e-3);
   h.reset();
   EXPECT_EQ(h.count(), 0u);
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  // Empty histogram signals "no data" (NaN) instead of a fake 0s latency.
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
 }
 
 #if LFO_METRICS_ENABLED

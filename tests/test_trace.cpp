@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <unordered_map>
 
@@ -230,6 +231,49 @@ TEST(TraceIo, TextRejectsGarbage) {
   EXPECT_THROW(read_text_trace(ss), std::runtime_error);
 }
 
+// Expect read_text_trace to reject `body` and name `where` (the faulting
+// line) plus `what` (the reason) in the exception message.
+void expect_text_rejected(const std::string& body, const std::string& where,
+                          const std::string& what) {
+  std::stringstream ss(body);
+  try {
+    read_text_trace(ss);
+    FAIL() << "accepted malformed trace: " << body;
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(where), std::string::npos)
+        << "error lacks location '" << where << "': " << msg;
+    EXPECT_NE(msg.find(what), std::string::npos)
+        << "error lacks reason '" << what << "': " << msg;
+  }
+}
+
+// Degenerate records used to slide straight through the reader: a size-0
+// object inflates byte-hit ratios with free "hits" and produces
+// zero-capacity MCMF arcs, a negative cost flips the flow objective, and
+// NaN poisons every aggregate. All must be rejected with the line named.
+TEST(TraceIo, TextRejectsZeroSize) {
+  expect_text_rejected("# header\n1 100\n2 0\n", "line 3", "size");
+}
+
+TEST(TraceIo, TextRejectsNegativeCost) {
+  expect_text_rejected("7 50 -1.5\n", "line 1", "cost");
+}
+
+TEST(TraceIo, TextRejectsNonFiniteCost) {
+  // from_chars parses "nan"/"inf" spellings, so they reach validation.
+  expect_text_rejected("7 50 nan\n", "line 1", "finite");
+  expect_text_rejected("7 50 inf\n", "line 1", "finite");
+  expect_text_rejected("7 50 -inf\n", "line 1", "finite");
+}
+
+TEST(TraceIo, TextRejectionNamesTheRightLine) {
+  // Comments and blank lines still advance the line counter: the report
+  // must point at the file line an editor would jump to, not the Nth
+  // parsed record.
+  expect_text_rejected("# c\n\n1 10\n# c\n2 0\n", "line 5", "size");
+}
+
 TEST(TraceIo, BinaryRoundTrip) {
   const auto t = generate_zipf_trace(500, 50, 0.9, 3);
   std::stringstream ss;
@@ -241,6 +285,40 @@ TEST(TraceIo, BinaryRoundTrip) {
 TEST(TraceIo, BinaryRejectsBadMagic) {
   std::stringstream ss("not a trace file at all");
   EXPECT_THROW(read_binary_trace(ss), std::runtime_error);
+}
+
+// The binary reader applies the same record validation as the text one:
+// the writer does not validate (it round-trips whatever it is given), so
+// a corrupt or hand-built file must be caught on the way in.
+TEST(TraceIo, BinaryRejectsDegenerateRecords) {
+  const auto rejected_with = [](Trace bad, const std::string& what) {
+    std::stringstream ss;
+    write_binary_trace(bad, ss);
+    try {
+      read_binary_trace(ss);
+      FAIL() << "accepted malformed binary trace (" << what << ")";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("record 1"), std::string::npos)
+          << "error lacks record index: " << msg;
+      EXPECT_NE(msg.find(what), std::string::npos)
+          << "error lacks reason '" << what << "': " << msg;
+    }
+  };
+  Trace zero_size;
+  zero_size.push_back({0, 10, 10.0});
+  zero_size.push_back({1, 0, 1.0});
+  rejected_with(std::move(zero_size), "size");
+
+  Trace negative_cost;
+  negative_cost.push_back({0, 10, 10.0});
+  negative_cost.push_back({1, 5, -2.0});
+  rejected_with(std::move(negative_cost), "cost");
+
+  Trace nan_cost;
+  nan_cost.push_back({0, 10, 10.0});
+  nan_cost.push_back({1, 5, std::numeric_limits<double>::quiet_NaN()});
+  rejected_with(std::move(nan_cost), "finite");
 }
 
 TEST(TraceStats, ComputesAggregates) {

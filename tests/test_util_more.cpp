@@ -55,9 +55,19 @@ TEST(PercentilesMore, SingleValue) {
   EXPECT_DOUBLE_EQ(p.quantile(1.0), 7.0);
 }
 
-TEST(PercentilesMore, EmptyReturnsZero) {
+// An empty collector must signal "no data" rather than report a value
+// that could pass for a real measurement.
+TEST(PercentilesMore, EmptyReturnsNaN) {
   Percentiles p;
-  EXPECT_DOUBLE_EQ(p.median(), 0.0);
+  EXPECT_TRUE(p.empty());
+  EXPECT_TRUE(std::isnan(p.median()));
+  EXPECT_TRUE(std::isnan(p.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(p.quantile(1.0)));
+  const std::array<double, 2> qs{0.25, 0.75};
+  for (const double v : p.quantiles(qs)) EXPECT_TRUE(std::isnan(v));
+  p.add(0.0);
+  EXPECT_FALSE(p.empty());
+  EXPECT_DOUBLE_EQ(p.median(), 0.0);  // a real 0.0 is still reportable
 }
 
 TEST(PercentilesMore, AddAfterQueryStillSorts) {

@@ -2,7 +2,7 @@
 # Static-analysis and dynamic-correctness gate for libLFO.
 #
 #   tools/run_static_checks.sh [--skip-asan] [--skip-tsan] [--skip-tidy]
-#                              [--skip-obs] [--skip-perf]
+#                              [--skip-obs] [--skip-faults] [--skip-perf]
 #
 # Runs, in order:
 #   1. asan-ubsan preset: configure, build the test suite, run ctest under
@@ -14,11 +14,16 @@
 #      both, and diff the golden-trace decision counts across the two
 #      builds — instrumentation must be provably decision-neutral even
 #      when compiled out.
-#   4. perf smoke: Release build, then `ctest -L perfsmoke` — the
+#   4. fault gate: Release build, then `ctest -L faults` — the rollout
+#      guard under injected training failures on the golden flash-crowd
+#      generator (fallback + recovery, BHR >= heuristic-only baseline,
+#      sync-vs-async determinism with faults, and guarded-vs-unguarded
+#      decision identity when no fault fires).
+#   5. perf smoke: Release build, then `ctest -L perfsmoke` — the
 #      flat-forest-vs-tree-walk golden decision diff and the
 #      instrumented-operator-new zero-allocation hot-path test, whose
 #      strict assertions only arm in optimized unsanitized builds.
-#   5. clang-tidy over src/ (including src/obs) via the asan build's
+#   6. clang-tidy over src/ (including src/obs) via the asan build's
 #      compile_commands.json with the repo .clang-tidy config (skipped
 #      with a warning when no clang-tidy binary is installed, e.g.
 #      gcc-only containers).
@@ -36,6 +41,7 @@ SKIP_ASAN=0
 SKIP_TSAN=0
 SKIP_TIDY=0
 SKIP_OBS=0
+SKIP_FAULTS=0
 SKIP_PERF=0
 for arg in "$@"; do
   case "$arg" in
@@ -43,6 +49,7 @@ for arg in "$@"; do
     --skip-tsan) SKIP_TSAN=1 ;;
     --skip-tidy) SKIP_TIDY=1 ;;
     --skip-obs) SKIP_OBS=1 ;;
+    --skip-faults) SKIP_FAULTS=1 ;;
     --skip-perf) SKIP_PERF=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -95,6 +102,17 @@ if [[ "$SKIP_OBS" -eq 0 ]]; then
       || { echo "obs gate: instrumentation changed golden decisions" >&2
            exit 1; }
   echo "obs gate: golden decision counts identical across ON/OFF"
+fi
+
+if [[ "$SKIP_FAULTS" -eq 0 ]]; then
+  banner "fault gate: Release build + ctest -L faults"
+  cmake -S . -B build-faults -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-faults --target test_rollout -j "$JOBS"
+  # Injected training failures (WindowedConfig::train_fault) must drive
+  # the rollout guard through fallback and recovery deterministically,
+  # keep BHR at or above the heuristic-only baseline, and — with no
+  # faults — leave decisions bitwise-identical to an unguarded run.
+  ctest --test-dir build-faults -L faults --output-on-failure -j "$JOBS"
 fi
 
 if [[ "$SKIP_PERF" -eq 0 ]]; then
