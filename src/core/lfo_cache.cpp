@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lfo::core {
 
@@ -34,7 +35,7 @@ void LfoCache::swap_model(std::shared_ptr<const LfoModel> model) {
   }
 }
 
-double LfoCache::predict(const trace::Request& request) {
+LFO_HOT_PATH double LfoCache::predict(const trace::Request& request) {
   if (!model_ && !options_.rescore_on_swap) {
     return 0.5;  // bootstrap: behave like admit-all
   }
@@ -44,10 +45,11 @@ double LfoCache::predict(const trace::Request& request) {
   return model_ ? model_->predict(row_buffer_) : 0.5;
 }
 
-void LfoCache::remember_row(trace::ObjectId object) {
+LFO_HOT_PATH void LfoCache::remember_row(trace::ObjectId object) {
   if (!options_.rescore_on_swap) return;
   const auto it = entries_.find(object);
   if (it == entries_.end()) return;
+  // lfo-lint: allow(hotpath): assign reuses last_row capacity after warmup
   it->second.last_row.assign(row_buffer_.begin(), row_buffer_.end());
 }
 
@@ -57,6 +59,7 @@ void LfoCache::rescore_all() {
   // Deterministic order (object id), independent of hash-map iteration.
   std::vector<trace::ObjectId> objects;
   objects.reserve(entries_.size());
+  // lfo-lint: allow(nondet): keys are sorted below, order is irrelevant
   for (const auto& [object, entry] : entries_) {
     if (entry.last_row.size() == dim) objects.push_back(object);
   }
@@ -79,7 +82,7 @@ void LfoCache::rescore_all() {
   }
 }
 
-double LfoCache::rank_of(const trace::Request& request,
+LFO_HOT_PATH double LfoCache::rank_of(const trace::Request& request,
                          double likelihood) const {
   switch (options_.eviction) {
     case LfoPolicyOptions::EvictionRank::kLikelihood:
@@ -92,17 +95,18 @@ double LfoCache::rank_of(const trace::Request& request,
   return likelihood;
 }
 
-void LfoCache::update_rank(trace::ObjectId object, double rank) {
+LFO_HOT_PATH void LfoCache::update_rank(trace::ObjectId object, double rank) {
   auto& e = entries_[object];
   // Extract + reinsert reuses the multimap node, keeping the per-request
   // re-rank free of heap traffic (part of the zero-allocation hot path).
   auto node = order_.extract(e.order_it);
   node.key() = rank;
   e.likelihood = rank;
+  // lfo-lint: allow(hotpath): node-handle reinsert, no heap traffic
   e.order_it = order_.insert(std::move(node));
 }
 
-void LfoCache::on_hit(const trace::Request& request) {
+LFO_HOT_PATH void LfoCache::on_hit(const trace::Request& request) {
   LFO_COUNTER_INC("lfo_cache_hits_total");
   const bool lru_mode =
       options_.eviction == LfoPolicyOptions::EvictionRank::kLru;

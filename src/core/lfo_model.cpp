@@ -10,6 +10,7 @@
 namespace lfo::core {
 
 namespace {
+// lfo-lint: allow(nondet): wall-clock diagnostics only, never decisions
 using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();

@@ -19,6 +19,7 @@ namespace lfo::core {
 
 namespace {
 
+// lfo-lint: allow(nondet): wall-clock diagnostics only, never decisions
 using Clock = std::chrono::steady_clock;
 
 double seconds_between(Clock::time_point a, Clock::time_point b) {

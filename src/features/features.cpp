@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/thread_annotations.hpp"
+
 namespace lfo::features {
 
 std::size_t FeatureConfig::dimension() const {
@@ -95,7 +97,7 @@ FeatureExtractor::FeatureExtractor(FeatureConfig config)
       gap_indices_(config.gap_indices()),
       dimension_(config.dimension()) {}
 
-void FeatureExtractor::extract(const trace::Request& request,
+LFO_HOT_PATH void FeatureExtractor::extract(const trace::Request& request,
                                std::uint64_t time, std::uint64_t free_bytes,
                                std::span<float> out,
                                FeatureScratch& scratch) const {
@@ -103,6 +105,7 @@ void FeatureExtractor::extract(const trace::Request& request,
     throw std::invalid_argument("FeatureExtractor::extract: bad out size");
   }
   if (scratch.gaps.size() != config_.num_gaps) {
+    // lfo-lint: allow(hotpath): one-time scratch growth on first call
     scratch.gaps.resize(config_.num_gaps);  // first use only
   }
   std::size_t i = 0;

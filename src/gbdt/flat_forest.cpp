@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 
 #if defined(__GNUC__) || defined(__clang__)
 #define LFO_PREFETCH(addr) __builtin_prefetch(addr)
@@ -96,7 +97,7 @@ std::int32_t FlatForest::max_depth() const {
   return deepest;
 }
 
-double FlatForest::predict_raw(std::span<const float> features) const {
+LFO_HOT_PATH double FlatForest::predict_raw(std::span<const float> features) const {
   double score = base_score_;
   const Node* const nodes = nodes_.data();
   const float* const row = features.data();
@@ -118,11 +119,11 @@ double FlatForest::predict_raw(std::span<const float> features) const {
   return score;
 }
 
-double FlatForest::predict_proba(std::span<const float> features) const {
+LFO_HOT_PATH double FlatForest::predict_proba(std::span<const float> features) const {
   return sigmoid(predict_raw(features));
 }
 
-void FlatForest::predict_raw_batch(std::span<const float> matrix,
+LFO_HOT_PATH void FlatForest::predict_raw_batch(std::span<const float> matrix,
                                    std::size_t num_features,
                                    std::span<double> out) const {
   LFO_CHECK_GT(num_features, 0u) << "predict_raw_batch: zero-width rows";
@@ -162,7 +163,7 @@ void FlatForest::predict_raw_batch(std::span<const float> matrix,
   }
 }
 
-void FlatForest::predict_proba_batch(std::span<const float> matrix,
+LFO_HOT_PATH void FlatForest::predict_proba_batch(std::span<const float> matrix,
                                      std::size_t num_features,
                                      std::span<double> out) const {
   predict_raw_batch(matrix, num_features, out);

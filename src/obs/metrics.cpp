@@ -6,7 +6,8 @@
 #include <cmath>
 #include <limits>
 #include <map>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace lfo::obs {
 
@@ -101,12 +102,14 @@ void LatencyHistogram::reset() {
 // ---------------------------------------------------------------- registry
 
 struct MetricsRegistry::Impl {
-  mutable std::mutex mu;
+  mutable util::Mutex mu;
   // std::map nodes are stable: references returned by the lookup methods
-  // survive any later registration.
-  std::map<std::string, Counter, std::less<>> counters;
-  std::map<std::string, Gauge, std::less<>> gauges;
-  std::map<std::string, LatencyHistogram, std::less<>> histograms;
+  // survive any later registration, so only the maps themselves — not
+  // the atomic metric objects inside them — need the lock.
+  std::map<std::string, Counter, std::less<>> counters LFO_GUARDED_BY(mu);
+  std::map<std::string, Gauge, std::less<>> gauges LFO_GUARDED_BY(mu);
+  std::map<std::string, LatencyHistogram, std::less<>> histograms
+      LFO_GUARDED_BY(mu);
 };
 
 MetricsRegistry::Impl& MetricsRegistry::impl() const {
@@ -121,7 +124,7 @@ MetricsRegistry& MetricsRegistry::instance() {
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   auto& im = impl();
-  std::lock_guard lock(im.mu);
+  const util::MutexLock lock(im.mu);
   const auto it = im.counters.find(name);
   if (it != im.counters.end()) return it->second;
   return im.counters.emplace(std::piecewise_construct,
@@ -132,7 +135,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   auto& im = impl();
-  std::lock_guard lock(im.mu);
+  const util::MutexLock lock(im.mu);
   const auto it = im.gauges.find(name);
   if (it != im.gauges.end()) return it->second;
   return im.gauges.emplace(std::piecewise_construct,
@@ -143,7 +146,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
   auto& im = impl();
-  std::lock_guard lock(im.mu);
+  const util::MutexLock lock(im.mu);
   const auto it = im.histograms.find(name);
   if (it != im.histograms.end()) return it->second;
   return im.histograms.emplace(std::piecewise_construct,
@@ -154,7 +157,7 @@ LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   auto& im = impl();
-  std::lock_guard lock(im.mu);
+  const util::MutexLock lock(im.mu);
   MetricsSnapshot snap;
   snap.counters.reserve(im.counters.size());
   for (const auto& [name, c] : im.counters) {
@@ -188,7 +191,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 
 void MetricsRegistry::reset_all() {
   auto& im = impl();
-  std::lock_guard lock(im.mu);
+  const util::MutexLock lock(im.mu);
   for (auto& [name, c] : im.counters) c.reset();
   for (auto& [name, g] : im.gauges) g.reset();
   for (auto& [name, h] : im.histograms) h.reset();

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "obs/exporters.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lfo::obs {
 
@@ -26,19 +26,21 @@ struct SpanRecord {
 /// workload quiesces); the buffer outlives its thread via shared_ptr so
 /// pool threads that exit before export lose nothing.
 struct ThreadBuffer {
-  std::mutex mu;
+  util::Mutex mu;
+  /// Written once (under the collector's lock) before the buffer is
+  /// published; immutable afterwards, so readable without `mu`.
   std::uint32_t tid = 0;
-  std::string label;
-  std::vector<SpanRecord> spans;
-  std::uint64_t dropped = 0;
+  std::string label LFO_GUARDED_BY(mu);
+  std::vector<SpanRecord> spans LFO_GUARDED_BY(mu);
+  std::uint64_t dropped LFO_GUARDED_BY(mu) = 0;
 };
 
 constexpr std::size_t kMaxSpansPerThread = 1 << 20;
 
 struct Collector {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::uint32_t next_tid = 1;
+  util::Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers LFO_GUARDED_BY(mu);
+  std::uint32_t next_tid LFO_GUARDED_BY(mu) = 1;
 };
 
 Collector& collector() {
@@ -51,7 +53,7 @@ ThreadBuffer& thread_buffer() {
   if (!buffer) {
     auto fresh = std::make_shared<ThreadBuffer>();
     auto& c = collector();
-    std::lock_guard lock(c.mu);
+    const util::MutexLock lock(c.mu);
     fresh->tid = c.next_tid++;
     c.buffers.push_back(fresh);
     buffer = std::move(fresh);
@@ -61,7 +63,7 @@ ThreadBuffer& thread_buffer() {
 
 std::vector<std::shared_ptr<ThreadBuffer>> all_buffers() {
   auto& c = collector();
-  std::lock_guard lock(c.mu);
+  const util::MutexLock lock(c.mu);
   return c.buffers;
 }
 
@@ -77,13 +79,13 @@ void set_tracing_enabled(bool enabled) {
 
 void set_thread_label(std::string label) {
   auto& buf = thread_buffer();
-  std::lock_guard lock(buf.mu);
+  const util::MutexLock lock(buf.mu);
   buf.label = std::move(label);
 }
 
 void clear_trace() {
   for (const auto& buf : all_buffers()) {
-    std::lock_guard lock(buf->mu);
+    const util::MutexLock lock(buf->mu);
     buf->spans.clear();
     buf->dropped = 0;
   }
@@ -92,7 +94,7 @@ void clear_trace() {
 std::size_t recorded_span_count() {
   std::size_t total = 0;
   for (const auto& buf : all_buffers()) {
-    std::lock_guard lock(buf->mu);
+    const util::MutexLock lock(buf->mu);
     total += buf->spans.size();
   }
   return total;
@@ -108,7 +110,7 @@ TraceSpan::~TraceSpan() {
   if (name_ == nullptr) return;
   const auto end_ns = detail::monotonic_ns();
   auto& buf = thread_buffer();
-  std::lock_guard lock(buf.mu);
+  const util::MutexLock lock(buf.mu);
   if (buf.spans.size() >= kMaxSpansPerThread) {
     ++buf.dropped;
     return;
@@ -127,7 +129,7 @@ void write_chrome_trace(std::ostream& os) {
   for (const auto& buf : all_buffers()) {
     ThreadDump dump;
     {
-      std::lock_guard lock(buf->mu);
+      const util::MutexLock lock(buf->mu);
       dump.tid = buf->tid;
       dump.label = buf->label;
       dump.spans = buf->spans;

@@ -16,6 +16,7 @@ namespace lfo::opt {
 
 namespace {
 
+// lfo-lint: allow(nondet): wall-clock diagnostics only, never decisions
 using Clock = std::chrono::steady_clock;
 
 /// Fill hit totals from per-interval decisions.

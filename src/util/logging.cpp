@@ -14,6 +14,8 @@ namespace {
 /// kInfo otherwise. Evaluated once during static initialisation, so the
 /// environment controls even the earliest log lines.
 LogLevel initial_level() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once pre-main,
+  // before any thread that could call setenv exists.
   const char* env = std::getenv("LFO_LOG_LEVEL");
   if (env == nullptr) return LogLevel::kInfo;
   if (const auto parsed = parse_log_level(env)) return *parsed;

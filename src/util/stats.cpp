@@ -64,14 +64,14 @@ double Percentiles::quantile_locked(double q) const {
 }
 
 double Percentiles::quantile(double q) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   ensure_sorted_locked();
   return quantile_locked(q);
 }
 
 std::vector<double> Percentiles::quantiles(
     std::span<const double> qs) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   ensure_sorted_locked();
   std::vector<double> out;
   out.reserve(qs.size());

@@ -3,9 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace lfo::util {
 
@@ -42,16 +43,18 @@ class RunningStats {
 /// safe to call from multiple threads. The lazy re-sort that quantile()
 /// performs happens under an internal lock — it used to mutate the
 /// sample vector from a const method unguarded, so two concurrent
-/// readers could sort the same vector at once and read torn data.
+/// readers could sort the same vector at once and read torn data. The
+/// lock discipline is compiler-checked: the samples are LFO_GUARDED_BY
+/// the internal mutex and the _locked helpers declare LFO_REQUIRES.
 class Percentiles {
  public:
   void add(double x) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     xs_.push_back(x);
     sorted_ = false;  // new sample invalidates any previous sort
   }
   std::size_t count() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     return xs_.size();
   }
   bool empty() const { return count() == 0; }
@@ -66,14 +69,14 @@ class Percentiles {
   double median() const { return quantile(0.5); }
 
  private:
-  /// Pre: mu_ held. Sorts the samples if a new add() invalidated them.
-  void ensure_sorted_locked() const;
-  /// Pre: mu_ held and samples sorted.
-  double quantile_locked(double q) const;
+  /// Sorts the samples if a new add() invalidated them.
+  void ensure_sorted_locked() const LFO_REQUIRES(mu_);
+  /// Pre: samples sorted (call ensure_sorted_locked() first).
+  double quantile_locked(double q) const LFO_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  mutable std::vector<double> xs_;
-  mutable bool sorted_ = false;
+  mutable Mutex mu_;
+  mutable std::vector<double> xs_ LFO_GUARDED_BY(mu_);
+  mutable bool sorted_ LFO_GUARDED_BY(mu_) = false;
 };
 
 /// Fixed-bin histogram over [lo, hi). Values outside the range land in

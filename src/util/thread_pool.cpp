@@ -15,7 +15,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Joining cannot happen under the lock, so this is explicit
+  // lock()/unlock() rather than a scoped MutexLock; the thread-safety
+  // analysis still verifies every guarded access between the calls.
+  mu_.lock();
   stop_ = true;
   // Notify under the lock: a worker between its predicate check and its
   // wait() cannot miss the stop signal.
@@ -23,19 +26,21 @@ void ThreadPool::shutdown() {
   if (joining_) {
     // Another thread owns the joins; wait until it finishes so every
     // shutdown() caller can rely on the workers being gone on return.
-    join_cv_.wait(lock, [this] { return joined_; });
+    while (!joined_) join_cv_.wait(mu_);
+    mu_.unlock();
     return;
   }
   joining_ = true;
-  lock.unlock();
+  mu_.unlock();
   for (auto& w : workers_) w.join();
-  lock.lock();
+  mu_.lock();
   joined_ = true;
   join_cv_.notify_all();
+  mu_.unlock();
 }
 
 std::size_t ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_.size();
 }
 
@@ -43,8 +48,8 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) cv_.wait(mu_);
       if (tasks_.empty()) {
         if (stop_) return;
         continue;

@@ -1,15 +1,15 @@
 #ifndef LFO_UTIL_THREAD_POOL_HPP
 #define LFO_UTIL_THREAD_POOL_HPP
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace lfo::util {
 
@@ -57,7 +57,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stop_) throw ThreadPoolStopped();
       tasks_.emplace_back([task] { (*task)(); });
     }
@@ -72,14 +72,18 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Written only by the constructor and joined by the one shutdown()
+  /// caller that owns joining_; size() reads it unlocked, which is safe
+  /// because the vector itself never changes after construction.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;       // workers wait here for tasks/stop
-  std::condition_variable join_cv_;  // late shutdown() callers wait here
-  bool stop_ = false;     // guarded by mu_
-  bool joining_ = false;  // guarded by mu_: one caller owns the joins
-  bool joined_ = false;   // guarded by mu_: all workers joined
+  mutable Mutex mu_;
+  CondVar cv_;       // workers wait here for tasks/stop
+  CondVar join_cv_;  // late shutdown() callers wait here
+  std::deque<std::function<void()>> tasks_ LFO_GUARDED_BY(mu_);
+  bool stop_ LFO_GUARDED_BY(mu_) = false;
+  /// One shutdown() caller owns the joins; the rest wait on join_cv_.
+  bool joining_ LFO_GUARDED_BY(mu_) = false;
+  bool joined_ LFO_GUARDED_BY(mu_) = false;  // all workers joined
 };
 
 }  // namespace lfo::util

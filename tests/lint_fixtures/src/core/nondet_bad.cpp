@@ -1,0 +1,23 @@
+// lfo_lint fixture: exactly ONE nondet violation (range-for over an
+// unordered container in decision-affecting code). Never compiled.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Entry {
+  std::uint64_t size;
+};
+
+inline std::vector<std::uint64_t> eviction_order(
+    const std::unordered_map<std::uint64_t, Entry>& entries) {
+  std::vector<std::uint64_t> order;
+  // Seeded violation: hash iteration order decides eviction order.
+  for (const auto& [object, entry] : entries) {
+    order.push_back(object);
+  }
+  return order;
+}
+
+}  // namespace fixture

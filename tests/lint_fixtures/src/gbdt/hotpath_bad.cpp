@@ -1,0 +1,23 @@
+// lfo_lint fixture: exactly ONE hotpath violation (heap allocation in a
+// tagged function). Never compiled — scanned by tests/test_lfo_lint.py.
+#define LFO_HOT_PATH
+
+namespace fixture {
+
+LFO_HOT_PATH double predict(const float* row, int n) {
+  double* scratch = new double[8];  // seeded violation: hotpath
+  double score = 0.0;
+  for (int i = 0; i < n; ++i) score += row[i] * scratch[i % 8];
+  delete[] scratch;
+  return score;
+}
+
+// Untagged sibling: allocation here must NOT fire the rule.
+double train_step(int n) {
+  double* grad = new double[16];
+  double s = grad[n % 16];
+  delete[] grad;
+  return s;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// lfo_lint fixture: exactly ONE metric-name violation (counter missing
+// the _total suffix). Never compiled.
+#define LFO_COUNTER_INC(name)
+#define LFO_GAUGE_SET(name, v)
+#define LFO_HISTOGRAM_OBSERVE_SECONDS(name, s)
+
+namespace fixture {
+
+inline void record(double seconds) {
+  LFO_COUNTER_INC("lfo_cache_hits");  // seeded violation: metric-name
+  LFO_GAUGE_SET("lfo_window_bhr", 0.5);
+  LFO_HISTOGRAM_OBSERVE_SECONDS("lfo_request_seconds", seconds);
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// lfo_lint fixture: exactly ONE check-effect violation (mutation inside
+// an LFO_CHECK argument expression). Never compiled.
+#define LFO_CHECK_LT(a, b)
+
+namespace fixture {
+
+inline int pop_index(int cursor, int size) {
+  LFO_CHECK_LT(cursor++, size);  // seeded violation: check-effect
+  return cursor;
+}
+
+// Comparisons alone are side-effect free and must NOT fire the rule.
+inline void bounds(int cursor, int size) {
+  LFO_CHECK_LT(cursor, size);
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Thread-safety fixture: deliberately touches a GUARDED_BY field with
+// no lock held. Compiled by tools/run_static_checks.sh with
+//   clang++ -fsyntax-only -Werror=thread-safety
+// and MUST fail — if this file compiles cleanly, the thread-safety
+// analysis is not actually armed and the stage reports an error.
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class Counter {
+ public:
+  // BROKEN ON PURPOSE: writes value_ without acquiring mu_.
+  void increment_unlocked() { ++value_; }
+
+ private:
+  mutable lfo::util::Mutex mu_;
+  std::uint64_t value_ LFO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Counter c;
+  c.increment_unlocked();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Thread-safety fixture: every guarded access holds the right lock.
+// Compiled by tools/run_static_checks.sh with
+//   clang++ -fsyntax-only -Werror=thread-safety
+// and must produce NO diagnostics. Pairs with bad_guard.cpp, which must
+// FAIL the same invocation — together they prove the analysis is armed.
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void increment() {
+    const lfo::util::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  std::uint64_t value() const {
+    const lfo::util::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void reset_locked() LFO_REQUIRES(mu_) { value_ = 0; }
+
+  void reset() {
+    const lfo::util::MutexLock lock(mu_);
+    reset_locked();
+  }
+
+ private:
+  mutable lfo::util::Mutex mu_;
+  std::uint64_t value_ LFO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+int main() {
+  fixture::Counter c;
+  c.increment();
+  c.reset();
+  return static_cast<int>(c.value());
+}

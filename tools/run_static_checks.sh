@@ -3,6 +3,7 @@
 #
 #   tools/run_static_checks.sh [--skip-asan] [--skip-tsan] [--skip-tidy]
 #                              [--skip-obs] [--skip-faults] [--skip-perf]
+#                              [--skip-threadsafety] [--skip-lint]
 #
 # Runs, in order:
 #   1. asan-ubsan preset: configure, build the test suite, run ctest under
@@ -27,6 +28,15 @@
 #      compile_commands.json with the repo .clang-tidy config (skipped
 #      with a warning when no clang-tidy binary is installed, e.g.
 #      gcc-only containers).
+#   7. thread-safety: clang's -Werror=thread-safety over the annotated
+#      lock discipline (util::Mutex / LFO_GUARDED_BY) via the
+#      thread-safety preset, after first proving the analysis is armed
+#      on a known-good / known-bad fixture pair (skipped with a warning
+#      when clang++ is not installed).
+#   8. lfo_lint: tools/lfo_lint.py invariant rules (hot-path allocation
+#      and locking, nondeterminism in decision code, side effects in
+#      LFO_CHECK arguments, obs metric-name conventions) over src/, plus
+#      its fixture self-test.
 #
 # Exits non-zero on the first failing stage.
 #
@@ -43,6 +53,8 @@ SKIP_TIDY=0
 SKIP_OBS=0
 SKIP_FAULTS=0
 SKIP_PERF=0
+SKIP_THREADSAFETY=0
+SKIP_LINT=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
@@ -51,6 +63,8 @@ for arg in "$@"; do
     --skip-obs) SKIP_OBS=1 ;;
     --skip-faults) SKIP_FAULTS=1 ;;
     --skip-perf) SKIP_PERF=1 ;;
+    --skip-threadsafety) SKIP_THREADSAFETY=1 ;;
+    --skip-lint) SKIP_LINT=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -149,6 +163,40 @@ if [[ "$SKIP_TIDY" -eq 0 ]]; then
     else
       "$TIDY" -p "$DB_DIR" --quiet "${SOURCES[@]}"
     fi
+  fi
+fi
+
+if [[ "$SKIP_THREADSAFETY" -eq 0 ]]; then
+  banner "thread-safety: clang -Werror=thread-safety"
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "WARNING: clang++ not installed; skipping the thread-safety gate." >&2
+    echo "         (install clang and re-run to enforce the lock annotations)" >&2
+  else
+    # Arm check: the analysis must accept the known-good fixture and
+    # reject the known-bad one, otherwise a misconfigured flag set would
+    # "pass" the whole tree without analyzing anything.
+    TSA_FLAGS=(-std=c++20 -fsyntax-only -Wthread-safety
+               -Werror=thread-safety -Isrc)
+    clang++ "${TSA_FLAGS[@]}" tests/threadsafety_fixture/good_guard.cpp         || { echo "thread-safety gate: good fixture rejected" >&2; exit 1; }
+    if clang++ "${TSA_FLAGS[@]}" tests/threadsafety_fixture/bad_guard.cpp         2>/dev/null; then
+      echo "thread-safety gate: broken-guard fixture passed — analysis"            "is not armed" >&2
+      exit 1
+    fi
+    echo "thread-safety gate: fixture pair behaves (good passes, bad fails)"
+    banner "thread-safety: full build under the thread-safety preset"
+    cmake --preset thread-safety
+    cmake --build build-threadsafety -j "$JOBS"
+  fi
+fi
+
+if [[ "$SKIP_LINT" -eq 0 ]]; then
+  banner "lfo_lint: fixture self-test + src/ invariants"
+  PY="$(command -v python3 || true)"
+  if [[ -z "$PY" ]]; then
+    echo "WARNING: python3 not installed; skipping the lfo_lint gate." >&2
+  else
+    "$PY" tests/test_lfo_lint.py
+    "$PY" tools/lfo_lint.py --root . src
   fi
 fi
 
