@@ -1,0 +1,158 @@
+// Adversarial & freshness workload bench: runs the four scenario presets
+// (trace/scenario.hpp: one-hit flood, scan loop, popularity inversion,
+// TTL expiry) through the guarded windowed-LFO pipeline at the contended
+// cache size and reports, per scenario:
+//   - BHR for guarded LFO, the heuristic-only baseline (every training
+//     job failed -> pure bootstrap admission) and LRU;
+//   - the RolloutGuard transition counts (activated / rejected /
+//     fallback / recovered) under the calibrated serving-accuracy gate;
+//   - expired hits (nonzero only on the freshness scenario).
+//
+// Output: a CSV on stdout plus a flat BENCH_scenarios.json via --json=
+// (tools/run_bench.sh --scenarios drives this). The robustness gate the
+// tier1 suite enforces (test_adversarial.cpp) is visible here as
+// bhr_guarded >= bhr_heuristic on every row.
+
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "cache/factory.hpp"
+#include "core/windowed.hpp"
+#include "trace/scenario.hpp"
+#include "util/csv.hpp"
+
+using namespace lfo;
+
+namespace {
+
+struct ScenarioRow {
+  std::string name;
+  double bhr_guarded = 0.0;
+  double bhr_heuristic = 0.0;
+  double bhr_lru = 0.0;
+  std::uint64_t activated = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t expired_hits = 0;
+};
+
+double bhr_of(const core::WindowedResult& r) {
+  return static_cast<double>(r.overall.bytes_hit) /
+         static_cast<double>(r.overall.bytes_requested);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv, {{"window", "1000"},
+                                {"min-serving-accuracy", "0.75"},
+                                {"rejection-budget", "3"}});
+  std::cout << "# Adversarial & freshness workload suite "
+               "(RolloutGuard robustness)\n";
+  args.print(std::cout);
+
+  // The same contended configuration the torture tests lock: quality
+  // gates neutralized so every transition is attributable to the
+  // serving-accuracy gate, at a cache size where decisions matter.
+  core::WindowedConfig base_config;
+  base_config.lfo.set_cache_size(trace::scenario::contended_cache_size());
+  base_config.lfo.features.num_gaps = 8;
+  base_config.lfo.gbdt.num_iterations = 5;
+  base_config.window_size = args.get_u64("window");
+  base_config.swap_lag = 1;
+  base_config.rollout.min_train_accuracy = 0.0;
+  base_config.rollout.max_admission_delta = 1.0;
+  base_config.rollout.drift_fallback_threshold = 0.0;
+  base_config.drift_warn_threshold = 0.0;
+  base_config.rollout.min_serving_accuracy =
+      args.get_double("min-serving-accuracy");
+  base_config.rollout.max_consecutive_rejections =
+      static_cast<std::uint32_t>(args.get_u64("rejection-budget"));
+
+  std::vector<ScenarioRow> rows;
+  for (const auto& name : trace::scenario::scenario_names()) {
+    const auto trace = trace::scenario::make_scenario_trace(name);
+    ScenarioRow row;
+    row.name = name;
+
+    const auto guarded = core::run_windowed_lfo(trace, base_config);
+    row.bhr_guarded = bhr_of(guarded);
+    row.expired_hits = guarded.overall.expired_hits;
+    for (const auto& w : guarded.windows) {
+      switch (w.rollout.decision) {
+        case core::RolloutDecision::kActivated: ++row.activated; break;
+        case core::RolloutDecision::kRejected: ++row.rejected; break;
+        case core::RolloutDecision::kFallback: ++row.fallbacks; break;
+        case core::RolloutDecision::kRecovered: ++row.recovered; break;
+        case core::RolloutDecision::kNone: break;
+      }
+    }
+
+    auto heuristic_config = base_config;
+    heuristic_config.train_fault = [](std::size_t, std::uint32_t) {
+      return true;
+    };
+    row.bhr_heuristic = bhr_of(core::run_windowed_lfo(trace,
+                                                      heuristic_config));
+
+    auto lru = cache::make_policy(
+        "LRU", trace::scenario::contended_cache_size());
+    for (const auto& r : trace.requests()) lru->access(r);
+    row.bhr_lru = lru->stats().bhr();
+
+    rows.push_back(row);
+  }
+
+  util::CsvWriter csv(std::cout);
+  csv.header({"scenario", "bhr_guarded", "bhr_heuristic", "bhr_lru",
+              "activated", "rejected", "fallbacks", "recovered",
+              "expired_hits"});
+  for (const auto& r : rows) {
+    csv.field(r.name)
+        .field(r.bhr_guarded)
+        .field(r.bhr_heuristic)
+        .field(r.bhr_lru)
+        .field(r.activated)
+        .field(r.rejected)
+        .field(r.fallbacks)
+        .field(r.recovered)
+        .field(r.expired_hits)
+        .end_row();
+  }
+
+  bool gate_holds = true;
+  for (const auto& r : rows) {
+    if (r.bhr_guarded < r.bhr_heuristic) gate_holds = false;
+    std::cout << "# " << r.name << ": guarded " << r.bhr_guarded
+              << " vs heuristic " << r.bhr_heuristic << " (margin "
+              << r.bhr_guarded - r.bhr_heuristic << "), transitions a/r/f/r "
+              << r.activated << '/' << r.rejected << '/' << r.fallbacks
+              << '/' << r.recovered << '\n';
+  }
+  std::cout << "# robustness gate (guarded >= heuristic on every scenario): "
+            << (gate_holds ? "HOLDS" : "VIOLATED") << '\n';
+
+  if (!args.json_path().empty()) {
+    bench::JsonDoc doc;
+    doc.set("bench", "scenarios");
+    doc.set("git_revision", bench::git_revision());
+    doc.set("cache_bytes", trace::scenario::contended_cache_size());
+    doc.set("min_serving_accuracy",
+            args.get_double("min-serving-accuracy"));
+    doc.set("robustness_gate_holds", gate_holds);
+    for (const auto& r : rows) {
+      doc.set(r.name + "_bhr_guarded", r.bhr_guarded);
+      doc.set(r.name + "_bhr_heuristic", r.bhr_heuristic);
+      doc.set(r.name + "_bhr_lru", r.bhr_lru);
+      doc.set(r.name + "_activated", r.activated);
+      doc.set(r.name + "_rejected", r.rejected);
+      doc.set(r.name + "_fallbacks", r.fallbacks);
+      doc.set(r.name + "_recovered", r.recovered);
+      doc.set(r.name + "_expired_hits", r.expired_hits);
+    }
+    doc.write_file(args.json_path());
+  }
+  return gate_holds ? 0 : 1;
+}

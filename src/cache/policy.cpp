@@ -17,7 +17,17 @@ bool CachePolicy::access(const trace::Request& request) {
   const auto before = stats_;
   ++stats_.requests;
   stats_.bytes_requested += request.size;
-  const bool hit = contains(request.object);
+  bool hit = contains(request.object);
+  if (hit && expired(request)) {
+    // Stale copy: an expired hit is a miss that must re-admit. The policy
+    // drops the dead entry first so on_miss sees a genuinely absent
+    // object (and so the stale bytes can never be served).
+    ++stats_.expired_hits;
+    on_expired(request);
+    LFO_CHECK(!contains(request.object))
+        << name() << ": on_expired must evict the stale object";
+    hit = false;
+  }
   if (hit) {
     ++stats_.hits;
     stats_.bytes_hit += request.size;

@@ -15,6 +15,10 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t bytes_requested = 0;
   std::uint64_t bytes_hit = 0;
+  /// Requests that found the object cached but stale (Request::ttl
+  /// elapsed). Counted as misses in requests/hits; tracked separately so
+  /// freshness pressure is visible in results.
+  std::uint64_t expired_hits = 0;
 
   double ohr() const {
     return requests ? static_cast<double>(hits) /
@@ -52,6 +56,15 @@ class CachePolicy {
   /// Is the object currently cached?
   virtual bool contains(trace::ObjectId object) const = 0;
 
+  /// Is the cached copy of this request's object stale? Only consulted
+  /// when contains() is true. Freshness-blind policies keep the default
+  /// (never stale) and serve expired bytes, exactly like a CDN cache with
+  /// no TTL handling; freshness-aware policies override (LfoCache keys
+  /// this off Request::ttl recorded at admission).
+  virtual bool expired(const trace::Request& /*request*/) const {
+    return false;
+  }
+
   /// Drop all cached objects and policy metadata (not the statistics).
   virtual void clear() = 0;
 
@@ -70,6 +83,11 @@ class CachePolicy {
   virtual void on_hit(const trace::Request& request) = 0;
   /// The object is absent; optionally admit (evicting to make room first).
   virtual void on_miss(const trace::Request& request) = 0;
+  /// The object is cached but expired() returned true. The policy must
+  /// drop the stale copy (the base class then routes the request through
+  /// on_miss, which may re-admit). Default is a no-op for policies that
+  /// never report expiry.
+  virtual void on_expired(const trace::Request& /*request*/) {}
 
   /// Byte accounting helpers for derived classes.
   void add_used(std::uint64_t bytes);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace lfo::core {
@@ -18,6 +19,22 @@ LfoCache::LfoCache(std::uint64_t capacity,
 
 bool LfoCache::contains(trace::ObjectId object) const {
   return entries_.contains(object);
+}
+
+bool LfoCache::expired(const trace::Request& request) const {
+  const auto it = entries_.find(request.object);
+  LFO_DCHECK(it != entries_.end())
+      << "expired() consulted for an uncached object";
+  return it != entries_.end() && clock() > it->second.expires_at;
+}
+
+void LfoCache::on_expired(const trace::Request& request) {
+  LFO_COUNTER_INC("lfo_cache_expired_hits_total");
+  const auto it = entries_.find(request.object);
+  LFO_CHECK(it != entries_.end()) << "on_expired for an uncached object";
+  sub_used(it->second.size);
+  order_.erase(it->second.order_it);
+  entries_.erase(it);
 }
 
 void LfoCache::clear() {
@@ -108,6 +125,11 @@ LFO_HOT_PATH void LfoCache::update_rank(trace::ObjectId object, double rank) {
 
 LFO_HOT_PATH void LfoCache::on_hit(const trace::Request& request) {
   LFO_COUNTER_INC("lfo_cache_hits_total");
+  // Stale-serve contract: the access() template method must have routed
+  // expired entries through on_expired/on_miss; reaching on_hit with a
+  // dead deadline means stale bytes are about to be served as fresh.
+  LFO_CHECK(clock() <= entries_.at(request.object).expires_at)
+      << "LFO: serving expired object " << request.object;
   const bool lru_mode =
       options_.eviction == LfoPolicyOptions::EvictionRank::kLru;
   if (options_.rescore_on_hit || lru_mode) {
@@ -137,8 +159,13 @@ void LfoCache::on_miss(const trace::Request& request) {
   LFO_COUNTER_INC("lfo_cache_admitted_total");
   while (free_bytes() < request.size) evict_one();
   const double rank = rank_of(request, p);
+  // Freshness deadline fixed at admission: clock() is this request's
+  // logical time, so a ttl of t keeps the copy fresh for the next t
+  // requests. Re-admission after expiry lands here again and resets it.
+  const std::uint64_t expires_at =
+      request.has_ttl() ? clock() + request.ttl : kNeverExpires;
   auto [it, inserted] = entries_.emplace(
-      request.object, Entry{request.size, rank, order_.end(), {}});
+      request.object, Entry{request.size, rank, order_.end(), expires_at, {}});
   it->second.order_it = order_.emplace(rank, request.object);
   add_used(request.size);
   remember_row(request.object);

@@ -1,6 +1,8 @@
 #ifndef LFO_CORE_LFO_CACHE_HPP
 #define LFO_CORE_LFO_CACHE_HPP
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -55,6 +57,11 @@ class LfoCache : public cache::CachePolicy {
 
   std::string name() const override { return "LFO"; }
   bool contains(trace::ObjectId object) const override;
+  /// Freshness (Request::ttl): an entry admitted at logical clock c with
+  /// ttl t is stale once clock() > c + t. Hits do not refresh the
+  /// deadline — only re-admission after expiry does, matching CDN
+  /// origin-revalidation semantics.
+  bool expired(const trace::Request& request) const override;
   void clear() override;
 
   /// Install a newly trained model (paper Fig 2: the policy trained on
@@ -82,12 +89,21 @@ class LfoCache : public cache::CachePolicy {
  protected:
   void on_hit(const trace::Request& request) override;
   void on_miss(const trace::Request& request) override;
+  /// Drop the stale entry so the request re-enters through on_miss and
+  /// the predictor decides re-admission with a fresh deadline.
+  void on_expired(const trace::Request& request) override;
 
  private:
+  static constexpr std::uint64_t kNeverExpires =
+      std::numeric_limits<std::uint64_t>::max();
+
   struct Entry {
     std::uint64_t size;
     double likelihood;
     std::multimap<double, trace::ObjectId>::iterator order_it;
+    /// Logical clock after which the cached copy is stale; kNeverExpires
+    /// for ttl-free objects. Set at admission, never refreshed by hits.
+    std::uint64_t expires_at;
     /// Latest feature row of the object (only kept with rescore_on_swap,
     /// which re-predicts all of them in one batch at model swaps).
     std::vector<float> last_row;

@@ -54,6 +54,13 @@ std::string RolloutGuard::gate_failure(
       return reason.str();
     }
   }
+  if (config_.min_serving_accuracy > 0.0 &&
+      candidate.serving_accuracy >= 0.0 &&
+      candidate.serving_accuracy < config_.min_serving_accuracy) {
+    reason << "serving_accuracy " << candidate.serving_accuracy << " < "
+           << config_.min_serving_accuracy;
+    return reason.str();
+  }
   return {};
 }
 

@@ -49,6 +49,20 @@ struct RolloutConfig {
   /// that would admit nearly everything or nothing despite decent
   /// accuracy (cutoff collapse). Golden traces stay under 0.1.
   double max_admission_delta = 0.35;
+  /// Gate 3 — live serving accuracy: the SERVING model's out-of-sample
+  /// accuracy on the candidate's training window (the window it just
+  /// served) must reach this. This is the only gate that scores the live
+  /// model on traffic it did not train on, so it is the one that catches
+  /// hostile regime changes — a popularity inversion leaves every
+  /// candidate's own-window diagnostics healthy while the serving
+  /// model's agreement with the new OPT collapses. A candidate with
+  /// serving_accuracy unknown (-1: bootstrap, fallback, evaluation
+  /// disabled) always passes, which is also what makes recovery work:
+  /// after fallback there is no serving model, so the first healthy
+  /// candidate re-qualifies. <= 0 disables the gate (the default — the
+  /// benign goldens are decision-identical with it off, so it is opt-in
+  /// for adversarial regimes).
+  double min_serving_accuracy = 0.0;
   /// Fallback trigger A: this many consecutive gate failures (rejected
   /// candidates or failed training jobs) abandon the stale last-good
   /// model and revert to the heuristic.
@@ -89,6 +103,10 @@ struct RolloutCandidate {
   /// Mean feature drift of the candidate's training window vs the
   /// serving model's training window; -1 when unknown (no serving model).
   double feature_drift = -1.0;
+  /// Out-of-sample accuracy of the currently SERVING model on this
+  /// candidate's training window (1 - TrainedWindow::prediction_error);
+  /// -1 when unknown (no serving model, or evaluation disabled).
+  double serving_accuracy = -1.0;
 };
 
 /// The guard's answer for one candidate.

@@ -173,6 +173,14 @@ RolloutCandidate candidate_of(const TrainedWindow& trained) {
         static_cast<double>(confusion.tp() + confusion.fn()) / total;
   }
   if (trained.drift_valid) candidate.feature_drift = trained.drift.mean_score;
+  // Out-of-sample accuracy of the serving model on the candidate's
+  // window: already computed by the training task for WindowReport's
+  // prediction_error, reused here for the guard's serving-accuracy gate.
+  // Stays -1 (unknown) when nothing was serving — bootstrap and
+  // post-fallback candidates are judged on their own diagnostics only.
+  if (trained.evaluated) {
+    candidate.serving_accuracy = trained.confusion.accuracy();
+  }
   return candidate;
 }
 
@@ -541,6 +549,7 @@ bool same_decisions(const WindowedResult& a, const WindowedResult& b) {
       a.overall.hits != b.overall.hits ||
       a.overall.bytes_requested != b.overall.bytes_requested ||
       a.overall.bytes_hit != b.overall.bytes_hit ||
+      a.overall.expired_hits != b.overall.expired_hits ||
       a.bypassed != b.bypassed || a.demoted_hits != b.demoted_hits ||
       a.windows.size() != b.windows.size()) {
     return false;

@@ -28,6 +28,7 @@ PolicyResult simulate_policy(cache::CachePolicy& policy,
   result.ohr = policy.stats().ohr();
   result.hits = policy.stats().hits;
   result.requests = policy.stats().requests;
+  result.expired_hits = policy.stats().expired_hits;
   result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
   return result;
 }

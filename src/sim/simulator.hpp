@@ -18,6 +18,9 @@ struct PolicyResult {
   double ohr = 0.0;
   std::uint64_t hits = 0;
   std::uint64_t requests = 0;
+  /// Stale hits (object cached but Request::ttl elapsed), counted as
+  /// misses. Nonzero only for freshness-aware policies on TTL traces.
+  std::uint64_t expired_hits = 0;
   double seconds = 0.0;  ///< wall time of the simulation
 };
 

@@ -12,7 +12,12 @@
 namespace lfo::trace {
 
 namespace {
+// v01: (object, size, cost) records — the pre-TTL schema.
+// v02: (object, size, cost, ttl) records. Writers emit v02 only when at
+// least one request carries a nonzero ttl, so traces without freshness
+// metadata stay byte-identical to what older readers expect.
 constexpr char kMagic[8] = {'L', 'F', 'O', 'T', 'R', 'C', '0', '1'};
+constexpr char kMagicV2[8] = {'L', 'F', 'O', 'T', 'R', 'C', '0', '2'};
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("trace io: " + what);
@@ -69,8 +74,10 @@ Trace read_text_trace(std::istream& in) {
       rest = nonspace == std::string_view::npos ? std::string_view{}
                                                 : rest.substr(nonspace);
     }
-    if (fields.size() < 2) fail("line " + std::to_string(lineno) +
-                                ": expected 'object size [cost]'");
+    if (fields.size() < 2 || fields.size() > 4) {
+      fail("line " + std::to_string(lineno) +
+           ": expected 'object size [cost [ttl]]'");
+    }
     Request r;
     const auto obj = util::parse_uint(fields[0]);
     const auto size = util::parse_uint(fields[1]);
@@ -83,6 +90,14 @@ Trace read_text_trace(std::istream& in) {
       r.cost = *cost;
     } else {
       r.cost = static_cast<double>(r.size);  // BHR cost model default
+    }
+    // Optional 4th column: freshness ttl in logical requests. Lines
+    // without it read back as ttl 0 (never expires), so pre-TTL traces
+    // and mixed old/new files parse unchanged.
+    if (fields.size() >= 4) {
+      const auto ttl = util::parse_uint(fields[3]);
+      if (!ttl) fail("line " + std::to_string(lineno) + ": bad ttl");
+      r.ttl = *ttl;
     }
     validate_record(r, "line " + std::to_string(lineno));
     reqs.push_back(r);
@@ -100,9 +115,14 @@ void write_text_trace(const Trace& trace, std::ostream& out) {
   // max_digits10 so costs survive a write/read round trip bit-exactly
   // (the default precision of 6 silently truncates byte-sized costs).
   const auto saved_precision = out.precision(17);
-  out << "# object size cost\n";
+  out << "# object size cost [ttl]\n";
   for (const auto& r : trace.requests()) {
-    out << r.object << ' ' << r.size << ' ' << r.cost << '\n';
+    out << r.object << ' ' << r.size << ' ' << r.cost;
+    // ttl column only where it carries information: ttl-free lines stay
+    // in the legacy 3-column shape, so a trace without freshness data
+    // round-trips to a file older parsers (and diffs) recognise.
+    if (r.has_ttl()) out << ' ' << r.ttl;
+    out << '\n';
   }
   out.precision(saved_precision);
 }
@@ -115,7 +135,9 @@ void write_text_trace_file(const Trace& trace, const std::string& path) {
 Trace read_binary_trace(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof magic);
-  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+  const bool v1 = in && std::memcmp(magic, kMagic, sizeof kMagic) == 0;
+  const bool v2 = in && std::memcmp(magic, kMagicV2, sizeof kMagicV2) == 0;
+  if (!v1 && !v2) {
     fail("bad magic (not an LFO binary trace)");
   }
   std::uint64_t count = 0;
@@ -128,6 +150,7 @@ Trace read_binary_trace(std::istream& in) {
     in.read(reinterpret_cast<char*>(&r.object), sizeof r.object);
     in.read(reinterpret_cast<char*>(&r.size), sizeof r.size);
     in.read(reinterpret_cast<char*>(&r.cost), sizeof r.cost);
+    if (v2) in.read(reinterpret_cast<char*>(&r.ttl), sizeof r.ttl);
     if (in) validate_record(r, "record " + std::to_string(index));
     ++index;
   }
@@ -141,13 +164,23 @@ Trace read_binary_trace_file(const std::string& path) {
 }
 
 void write_binary_trace(const Trace& trace, std::ostream& out) {
-  out.write(kMagic, sizeof kMagic);
+  // Emit the v02 (ttl-bearing) layout only when some request actually has
+  // a ttl; ttl-free traces keep producing bit-identical v01 files.
+  bool any_ttl = false;
+  for (const auto& r : trace.requests()) {
+    if (r.has_ttl()) {
+      any_ttl = true;
+      break;
+    }
+  }
+  out.write(any_ttl ? kMagicV2 : kMagic, sizeof kMagic);
   const std::uint64_t count = trace.size();
   out.write(reinterpret_cast<const char*>(&count), sizeof count);
   for (const auto& r : trace.requests()) {
     out.write(reinterpret_cast<const char*>(&r.object), sizeof r.object);
     out.write(reinterpret_cast<const char*>(&r.size), sizeof r.size);
     out.write(reinterpret_cast<const char*>(&r.cost), sizeof r.cost);
+    if (any_ttl) out.write(reinterpret_cast<const char*>(&r.ttl), sizeof r.ttl);
   }
   if (!out) fail("write failure");
 }

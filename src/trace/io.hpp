@@ -8,9 +8,13 @@
 
 namespace lfo::trace {
 
-/// Text format: one request per line, "object_id size [cost]", '#' comments.
-/// This matches the webcachesim/optimalwebcaching trace convention (minus
-/// the timestamp column, which that code ignores for OPT anyway).
+/// Text format: one request per line, "object_id size [cost [ttl]]", '#'
+/// comments. This matches the webcachesim/optimalwebcaching trace convention
+/// (minus the timestamp column, which that code ignores for OPT anyway).
+/// The optional 4th column is the freshness ttl in logical requests; lines
+/// without it parse as ttl 0 (never expires), so pre-TTL traces and files
+/// mixing both line shapes load unchanged. write_text_trace emits the ttl
+/// column only on lines where ttl != 0.
 Trace read_text_trace(std::istream& in);
 Trace read_text_trace_file(const std::string& path);
 void write_text_trace(const Trace& trace, std::ostream& out);
@@ -18,7 +22,10 @@ void write_text_trace_file(const Trace& trace, const std::string& path);
 
 /// Compact binary format (magic + version header, little-endian fixed-width
 /// records). Roughly 5x faster to load than text for multi-million-request
-/// traces.
+/// traces. Two on-disk versions: LFOTRC01 (object,size,cost) and LFOTRC02
+/// (object,size,cost,ttl). The reader accepts both; the writer emits v02
+/// only when at least one request has a nonzero ttl, so ttl-free traces
+/// stay bit-identical to the legacy format.
 Trace read_binary_trace(std::istream& in);
 Trace read_binary_trace_file(const std::string& path);
 void write_binary_trace(const Trace& trace, std::ostream& out);

@@ -18,8 +18,17 @@ struct Request {
   ObjectId object = 0;
   std::uint64_t size = 0;  ///< object size in bytes
   double cost = 0.0;       ///< retrieval cost C_i (miss penalty)
+  /// Freshness lifetime in logical time (requests). 0 = no expiry (the
+  /// legacy schema; every pre-TTL trace reads back with ttl 0). A cached
+  /// copy admitted at logical clock c stays fresh for accesses at clocks
+  /// <= c + ttl; a later access finds it stale — a freshness-aware
+  /// policy must treat that as a miss and re-admit (LfoCache does; the
+  /// heuristic baselines ignore ttl and serve stale).
+  std::uint64_t ttl = 0;
 
   friend bool operator==(const Request&, const Request&) = default;
+
+  bool has_ttl() const { return ttl != 0; }
 };
 
 /// How to instantiate per-request retrieval costs (paper §2.1).

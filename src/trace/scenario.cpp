@@ -1,0 +1,269 @@
+#include "trace/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lfo::trace::scenario {
+
+namespace {
+
+// Per-scenario RNG salts: each transform draws from Rng(base.seed ^ salt)
+// so changing one scenario's knobs can never perturb another's stream.
+constexpr std::uint64_t kFloodSalt = 0xF100D5EEDULL;
+constexpr std::uint64_t kFreshSalt = 0xF4E5475EEDULL;
+
+/// Total object-id space of the base generator (sum of class catalogs).
+/// Scenario-injected objects get ids starting here, guaranteeing no
+/// collision with any base object — including tail objects the Zipf
+/// sampler happened not to emit.
+std::uint64_t base_catalog_size(const GeneratorConfig& config) {
+  std::uint64_t total = 0;
+  for (const auto& cc : config.classes) total += cc.num_objects;
+  return total;
+}
+
+}  // namespace
+
+Trace one_hit_flood(const FloodConfig& config) {
+  if (config.flood_fraction < 0.0 || config.flood_fraction > 1.0) {
+    throw std::invalid_argument("one_hit_flood: flood_fraction not in [0,1]");
+  }
+  if (config.min_flood_size == 0 ||
+      config.min_flood_size > config.max_flood_size) {
+    throw std::invalid_argument("one_hit_flood: bad flood size bounds");
+  }
+  Trace base = generate_trace(config.base);
+  auto reqs = base.requests();
+
+  const std::uint64_t start = std::min<std::uint64_t>(
+      config.flood_start, reqs.size());
+  const std::uint64_t duration = std::min<std::uint64_t>(
+      config.flood_duration, reqs.size() - start);
+  const auto count = static_cast<std::uint64_t>(
+      std::llround(config.flood_fraction * static_cast<double>(duration)));
+
+  util::Rng rng(config.base.seed ^ kFloodSalt);
+  ObjectId next_id = base_catalog_size(config.base);
+
+  // Selection sampling (Knuth vol 2, Algorithm S): walk the burst window
+  // once, keeping each position with probability needed/remaining. Yields
+  // exactly `count` replacements, in position order, deterministically.
+  std::uint64_t needed = count;
+  for (std::uint64_t i = 0; i < duration && needed > 0; ++i) {
+    const std::uint64_t remaining = duration - i;
+    if (rng.uniform(remaining) < needed) {
+      auto& r = reqs[start + i];
+      r.object = next_id++;
+      r.size = static_cast<std::uint64_t>(rng.uniform_int(
+          static_cast<std::int64_t>(config.min_flood_size),
+          static_cast<std::int64_t>(config.max_flood_size)));
+      r.cost = static_cast<double>(r.size);
+      --needed;
+    }
+  }
+  LFO_CHECK(needed == 0) << "flood selection must place every replacement";
+
+  Trace trace(std::move(reqs));
+  trace.apply_cost_model(config.base.cost_model);
+  return trace;
+}
+
+Trace scan_loop(const ScanConfig& config) {
+  if (config.scan_objects == 0 || config.scan_stride == 0) {
+    throw std::invalid_argument("scan_loop: scan_objects and scan_stride "
+                                "must be > 0");
+  }
+  if (config.scan_object_size == 0) {
+    throw std::invalid_argument("scan_loop: scan_object_size must be > 0");
+  }
+  Trace base = generate_trace(config.base);
+  auto reqs = base.requests();
+
+  const ObjectId scan_base = base_catalog_size(config.base);
+  std::uint64_t k = 0;  // scan-request counter; object = k % scan_objects
+  for (std::uint64_t i = config.scan_start; i < reqs.size();
+       i += config.scan_stride) {
+    auto& r = reqs[i];
+    r.object = scan_base + (k % config.scan_objects);
+    r.size = config.scan_object_size;
+    r.cost = static_cast<double>(r.size);
+    ++k;
+  }
+
+  Trace trace(std::move(reqs));
+  trace.apply_cost_model(config.base.cost_model);
+  return trace;
+}
+
+Trace popularity_inversion(const InversionConfig& config) {
+  Trace base = generate_trace(config.base);
+  auto reqs = base.requests();
+  const std::uint64_t boundary =
+      std::min<std::uint64_t>(config.invert_at, reqs.size());
+  const std::uint64_t catalog = base_catalog_size(config.base);
+
+  // Empirical popularity over the prefix; dense ids let us count into a
+  // flat vector (no unordered containers — iteration order is part of the
+  // deterministic ranking contract).
+  std::vector<std::uint64_t> counts(catalog, 0);
+  std::vector<std::uint64_t> sizes(catalog, 0);
+  for (std::uint64_t i = 0; i < boundary; ++i) {
+    ++counts[reqs[i].object];
+    sizes[reqs[i].object] = reqs[i].size;
+  }
+  // Sizes of objects that only appear after the boundary (needed when the
+  // permutation's image is requested there with its own identity intact).
+  for (std::uint64_t i = boundary; i < reqs.size(); ++i) {
+    if (sizes[reqs[i].object] == 0) sizes[reqs[i].object] = reqs[i].size;
+  }
+
+  // Total order: request count descending, object id ascending.
+  std::vector<ObjectId> ranked;
+  ranked.reserve(catalog);
+  for (ObjectId obj = 0; obj < catalog; ++obj) {
+    if (counts[obj] > 0) ranked.push_back(obj);
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](ObjectId a, ObjectId b) {
+    if (counts[a] != counts[b]) return counts[a] > counts[b];
+    return a < b;
+  });
+
+  const std::uint64_t k =
+      config.invert_top_k == 0
+          ? ranked.size()
+          : std::min<std::uint64_t>(config.invert_top_k, ranked.size());
+
+  // perm[old] = new: rank r maps to rank k-1-r within the inverted set.
+  std::vector<ObjectId> perm(catalog);
+  std::iota(perm.begin(), perm.end(), ObjectId{0});
+  for (std::uint64_t r = 0; r < k; ++r) {
+    perm[ranked[r]] = ranked[k - 1 - r];
+  }
+
+  for (std::uint64_t i = boundary; i < reqs.size(); ++i) {
+    // With a period, the flip is active only on even period slots; the
+    // odd slots revert to the original ranking, so the hot set swings
+    // back and forth every invert_period requests. Past invert_until the
+    // oscillation stops and the flip holds permanently (re-stabilized
+    // traffic in the new ranking).
+    if (config.invert_period != 0 &&
+        (config.invert_until == 0 || i < config.invert_until) &&
+        ((i - boundary) / config.invert_period) % 2 != 0) {
+      continue;
+    }
+    auto& r = reqs[i];
+    const ObjectId target = perm[r.object];
+    if (target == r.object) continue;
+    r.object = target;
+    LFO_CHECK(sizes[target] != 0) << "inversion target must have a known size";
+    r.size = sizes[target];
+    r.cost = static_cast<double>(r.size);
+  }
+
+  Trace trace(std::move(reqs));
+  trace.apply_cost_model(config.base.cost_model);
+  return trace;
+}
+
+Trace freshness_expiry(const FreshnessConfig& config) {
+  if (config.ttl_share < 0.0 || config.ttl_share > 1.0) {
+    throw std::invalid_argument("freshness_expiry: ttl_share not in [0,1]");
+  }
+  if (config.ttl_min == 0 || config.ttl_min > config.ttl_max) {
+    throw std::invalid_argument("freshness_expiry: need 0 < ttl_min <= "
+                                "ttl_max");
+  }
+  Trace base = generate_trace(config.base);
+  auto reqs = base.requests();
+  const std::uint64_t catalog = base_catalog_size(config.base);
+
+  // Draw per-object ttls in object-id order so the assignment depends only
+  // on (seed, catalog), not on which objects the base stream emitted.
+  util::Rng rng(config.base.seed ^ kFreshSalt);
+  std::vector<std::uint64_t> ttls(catalog, 0);
+  for (ObjectId obj = 0; obj < catalog; ++obj) {
+    if (rng.bernoulli(config.ttl_share)) {
+      ttls[obj] = static_cast<std::uint64_t>(
+          rng.uniform_int(static_cast<std::int64_t>(config.ttl_min),
+                          static_cast<std::int64_t>(config.ttl_max)));
+    }
+  }
+  for (auto& r : reqs) r.ttl = ttls[r.object];
+
+  Trace trace(std::move(reqs));
+  trace.apply_cost_model(config.base.cost_model);
+  return trace;
+}
+
+// ------------------------------------------------------------- presets
+
+namespace {
+
+GeneratorConfig preset_base(std::uint64_t seed) {
+  GeneratorConfig gen;
+  gen.num_requests = 20000;
+  gen.seed = seed;
+  gen.classes = {web_class(3000)};
+  return gen;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  return {"flood", "scan", "inversion", "freshness"};
+}
+
+Trace make_scenario_trace(std::string_view name) {
+  if (name == "flood") {
+    FloodConfig config;
+    config.base = preset_base(404);
+    config.flood_start = 8000;
+    config.flood_duration = 6000;
+    config.flood_fraction = 0.6;
+    return one_hit_flood(config);
+  }
+  if (name == "scan") {
+    ScanConfig config;
+    config.base = preset_base(505);
+    config.scan_start = 6000;
+    config.scan_objects = 600;
+    config.scan_stride = 2;
+    config.scan_object_size = 256 * 1024;  // 600 * 256 KiB = 150 MiB sweep
+    return scan_loop(config);
+  }
+  if (name == "inversion") {
+    InversionConfig config;
+    config.base = preset_base(606);
+    config.invert_at = 10000;
+    config.invert_top_k = 100;
+    // Oscillate at half the training-window cadence through [10k, 16k),
+    // then hold the flip: the churn phase drags serving accuracy below
+    // the gate for several consecutive windows, the stable tail lets the
+    // guard recover. Calibrated against the torture-test schedule in
+    // tests/test_adversarial.cpp.
+    config.invert_period = 500;
+    config.invert_until = 16000;
+    return popularity_inversion(config);
+  }
+  if (name == "freshness") {
+    FreshnessConfig config;
+    config.base = preset_base(707);
+    config.ttl_share = 0.5;
+    config.ttl_min = 500;
+    config.ttl_max = 4000;
+    return freshness_expiry(config);
+  }
+  throw std::invalid_argument("make_scenario_trace: unknown scenario '" +
+                              std::string(name) + "'");
+}
+
+std::uint64_t contended_cache_size() { return 4ULL << 20; }
+
+std::uint64_t golden_cache_size() { return 32ULL << 20; }
+
+}  // namespace lfo::trace::scenario

@@ -1,0 +1,141 @@
+#ifndef LFO_TRACE_SCENARIO_HPP
+#define LFO_TRACE_SCENARIO_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/generator.hpp"
+#include "trace/trace.hpp"
+
+namespace lfo::trace::scenario {
+
+/// Adversarial and freshness-aware workload generators (ROADMAP item 5).
+///
+/// Each generator is a deterministic transform over a base trace produced
+/// by generate_trace(config.base): the base supplies a stationary Zipf
+/// request stream, the transform splices in the hostile pattern. All
+/// randomness flows through util::Rng seeded from base.seed xor a
+/// per-scenario salt, so a scenario trace is exactly reproducible from its
+/// config — the property the golden exact-decision-count suite and the
+/// RolloutGuard torture tests depend on.
+///
+/// The four scenarios target the failure modes HALP (arXiv 2301.11886)
+/// and Carra & Neglia (arXiv 2405.01263) identify for learned caches:
+///   - one_hit_flood: a burst of never-reused objects. A model trained on
+///     the stationary prefix should bypass them; an unguarded one that
+///     admits them evicts the hot set.
+///   - scan_loop: cyclic sweeps over a working set larger than the cache,
+///     the classic LRU-killer; interleaved with Zipf traffic it also
+///     poisons recency features.
+///   - popularity_inversion: the hot-set ranking is reversed at a window
+///     boundary — the worst case for a model trained on the old ranking,
+///     and the scenario the RolloutGuard serving-accuracy gate must catch.
+///   - freshness_expiry: objects carry TTLs (Request::ttl, logical
+///     requests); an expired hit is a miss that must re-admit.
+
+/// One-hit-wonder flood: replace an exact count of base requests inside
+/// [flood_start, flood_start + flood_duration) with requests for fresh
+/// objects that never recur. Exactly
+///   round(flood_fraction * flood_duration)
+/// positions are replaced (sampled without replacement), so the realized
+/// flood fraction matches the configured one to within 1/flood_duration.
+/// Flood object ids start at the base catalog size and are assigned in
+/// position order; sizes are uniform in [min_flood_size, max_flood_size].
+struct FloodConfig {
+  GeneratorConfig base;
+  double flood_fraction = 0.5;
+  std::uint64_t flood_start = 0;
+  std::uint64_t flood_duration = 0;  ///< clamped to the trace end
+  std::uint64_t min_flood_size = 4 * 1024;
+  std::uint64_t max_flood_size = 512 * 1024;
+};
+Trace one_hit_flood(const FloodConfig& config);
+
+/// Sequential scan loop: starting at scan_start, every scan_stride-th
+/// request is replaced with the next object of a cyclic sweep over
+/// scan_objects fixed-size objects (ids start at the base catalog size).
+/// The k-th scan request targets scan object k % scan_objects, so the
+/// sweep period is exactly scan_objects * scan_stride requests. Size the
+/// working set (scan_objects * scan_object_size) above cache capacity to
+/// make every scan touch a guaranteed miss for any demand-filled policy.
+struct ScanConfig {
+  GeneratorConfig base;
+  std::uint64_t scan_objects = 512;
+  std::uint64_t scan_stride = 2;
+  std::uint64_t scan_object_size = 256 * 1024;
+  std::uint64_t scan_start = 0;
+};
+Trace scan_loop(const ScanConfig& config);
+
+/// Popularity inversion: rank objects by request count over the prefix
+/// [0, invert_at) (ties broken by object id, so the ranking is total and
+/// deterministic), then for every request at index >= invert_at remap the
+/// top invert_top_k objects through the rank-reversing permutation
+/// rank r -> rank (K-1-r). The former #1 becomes the coldest of the hot
+/// set and vice versa; requests carry the target object's size so
+/// validate_consistent_sizes still holds. invert_top_k = 0 inverts the
+/// whole prefix catalog.
+///
+/// invert_period > 0 makes the inversion oscillate: the permutation is
+/// applied during [invert_at + 2k*P, invert_at + (2k+1)*P) and lifted in
+/// between. A single permanent flip is mild for a feature-based model —
+/// identities do not enter the features, and the new hot set's history
+/// warms up within a fraction of a window — but an oscillating flip with
+/// period at or below the training window keeps recency/frequency
+/// features systematically stale, which is the regime that actually
+/// degrades a learned admission policy (measured: serving-model accuracy
+/// vs OPT drops from ~0.75-0.81 to <=0.75 for the whole churn phase at
+/// the contended cache size). invert_period = 0 keeps the single
+/// permanent flip.
+///
+/// invert_until > 0 ends the oscillation: requests at index >=
+/// invert_until see the permutation applied permanently. Traffic
+/// re-stabilizes (in the flipped ranking), which is what lets a
+/// RolloutGuard fallback episode end in recovery instead of churning
+/// forever. 0 = the oscillation (or permanent flip) runs to the end.
+struct InversionConfig {
+  GeneratorConfig base;
+  std::uint64_t invert_at = 0;
+  std::uint64_t invert_top_k = 0;
+  std::uint64_t invert_period = 0;
+  std::uint64_t invert_until = 0;
+};
+Trace popularity_inversion(const InversionConfig& config);
+
+/// Freshness/TTL workload: a bernoulli(ttl_share) draw per object (in
+/// object-id order) marks it expiring, with a per-object ttl uniform in
+/// [ttl_min, ttl_max] logical requests stamped on all its requests. The
+/// base request sequence is unchanged — only Request::ttl is populated —
+/// so freshness-aware and freshness-blind policies see the same stream.
+struct FreshnessConfig {
+  GeneratorConfig base;
+  double ttl_share = 0.5;
+  std::uint64_t ttl_min = 500;
+  std::uint64_t ttl_max = 4000;
+};
+Trace freshness_expiry(const FreshnessConfig& config);
+
+/// Canonical seeded presets, shared by the golden-trace suite, the
+/// RolloutGuard torture tests and bench_scenarios so they all lock the
+/// same byte streams. Names: "flood", "scan", "inversion", "freshness".
+std::vector<std::string> scenario_names();
+
+/// Build the preset trace for `name` (throws std::invalid_argument on an
+/// unknown name). 20000 requests each, matching the golden-suite scale.
+Trace make_scenario_trace(std::string_view name);
+
+/// The contended cache size (4 MiB against a ~3000-object web catalog) at
+/// which the adversarial scenarios actually hurt: eviction decisions
+/// matter, and the guarded-vs-heuristic BHR acceptance gate is evaluated
+/// here by bench_scenarios and the torture tests.
+std::uint64_t contended_cache_size();
+
+/// Cache size used for the golden exact-decision-count entries (matches
+/// the existing web-golden 32 MiB regime).
+std::uint64_t golden_cache_size();
+
+}  // namespace lfo::trace::scenario
+
+#endif  // LFO_TRACE_SCENARIO_HPP

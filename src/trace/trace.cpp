@@ -35,6 +35,7 @@ std::uint64_t Trace::unique_bytes() const {
   sizes.reserve(requests_.size());
   for (const auto& r : requests_) sizes.emplace(r.object, r.size);
   std::uint64_t sum = 0;
+  // lfo-lint: allow(nondet): commutative sum, iteration order is irrelevant
   for (const auto& [id, size] : sizes) sum += size;
   return sum;
 }

@@ -26,11 +26,13 @@ TraceStats compute_stats(std::span<const Request> reqs) {
     s.max_size = std::max(s.max_size, r.size);
   }
   s.num_objects = counts.size();
+  // lfo-lint: allow(nondet): commutative sum, iteration order is irrelevant
   for (const auto& [id, size] : sizes) s.unique_bytes += size;
   s.mean_size = static_cast<double>(s.total_bytes) /
                 static_cast<double>(s.num_requests);
 
   std::uint64_t one_hit = 0;
+  // lfo-lint: allow(nondet): order-independent count of c == 1 entries
   for (const auto& [id, c] : counts) {
     if (c == 1) ++one_hit;
   }

@@ -1,0 +1,13 @@
+// Fixture: exactly one nondet violation — trace generators are
+// decision-affecting (their bytes feed the golden suites), so hash-order
+// iteration over an unordered container is banned in src/trace too.
+#include <cstdint>
+#include <unordered_map>
+
+std::uint64_t sum_in_hash_order() {
+  std::unordered_map<std::uint64_t, std::uint64_t> sizes;
+  sizes.emplace(1, 10);
+  std::uint64_t mixed = 0;
+  for (const auto& [id, size] : sizes) mixed = mixed * 31 + size;  // BAD
+  return mixed;
+}

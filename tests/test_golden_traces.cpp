@@ -1,7 +1,9 @@
 // Golden-trace regression suite: three seeded generator scenarios
-// (web / video / flash-crowd) with exact, checked-in hit counts and hit
-// ratios for LFO, LRU, AdaptSize and OPT. ANY drift — a changed
-// admission decision, eviction order, OPT label, RNG draw — fails with a
+// (web / video / flash-crowd) plus the four adversarial/freshness
+// presets from trace/scenario.hpp (flood / scan / inversion /
+// freshness), each with exact, checked-in hit counts and hit ratios for
+// LFO, LRU, AdaptSize and OPT. ANY drift — a changed admission
+// decision, eviction order, OPT label, RNG draw — fails with a
 // diff-style table. This is the lock that lets the training pipeline be
 // refactored (async, parallel) with confidence: the decisions may not
 // move at all.
@@ -12,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -23,6 +26,7 @@
 #include "opt/opt.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generator.hpp"
+#include "trace/scenario.hpp"
 
 namespace {
 
@@ -41,6 +45,9 @@ struct GoldenLfo {
   GoldenCache overall;
   std::uint64_t bypassed = 0;
   std::uint64_t demoted_hits = 0;
+  /// Stale hits re-routed through admission (nonzero only on traces that
+  /// carry Request::ttl — the freshness scenario).
+  std::uint64_t expired_hits = 0;
 };
 
 struct GoldenOpt {
@@ -80,14 +87,53 @@ constexpr Scenario kGolden[] = {
         "flash-crowd",
         /*lru=*/{20000, 14218, 1080191046, 725737606},
         /*adaptsize=*/{20000, 14888, 1080191046, 721748806},
-        /*lfo=*/{{20000, 14271, 1080191046, 728702390}, 1960, 184},
+        /*lfo=*/{{20000, 14271, 1080191046, 728702390}, 1960, 184, 0},
         /*opt=*/{16484, 857908563, 20000, 1080191046},
+    },
+    // Adversarial/freshness presets (trace/scenario.hpp): the robustness
+    // gates. LRU/AdaptSize/OPT are freshness-blind (they serve stale
+    // bytes, like a CDN with no TTL handling); only the LFO column counts
+    // expired hits.
+    {
+        "flood",
+        /*lru=*/{20000, 9948, 2249051048, 888243541},
+        /*adaptsize=*/{20000, 10722, 2249051048, 824744967},
+        /*lfo=*/{{20000, 10616, 2249051048, 935475791}, 4195, 215, 0},
+        /*opt=*/{13019, 1090080344, 20000, 2249051048},
+    },
+    {
+        "scan",
+        /*lru=*/{20000, 6841, 2457916856, 291635327},
+        /*adaptsize=*/{20000, 7573, 2457916856, 316195368},
+        /*lfo=*/{{20000, 8273, 2457916856, 424751263}, 3662, 601, 0},
+        /*opt=*/{9862, 663533050, 20000, 2457916856},
+    },
+    {
+        "inversion",
+        /*lru=*/{20000, 13690, 910749076, 554424295},
+        /*adaptsize=*/{20000, 14444, 910749076, 556605128},
+        /*lfo=*/{{20000, 14024, 910749076, 561919486}, 2094, 420, 0},
+        /*opt=*/{16119, 689887423, 20000, 910749076},
+    },
+    {
+        "freshness",
+        /*lru=*/{20000, 13391, 1065134887, 661964596},
+        /*adaptsize=*/{20000, 14302, 1065134887, 657881521},
+        /*lfo=*/{{20000, 12923, 1065134887, 636330942}, 2214, 160, 815},
+        /*opt=*/{15996, 824799047, 20000, 1065134887},
     },
 };
 
 // ------------------------------------------------------------- scenarios
 
 trace::Trace make_trace(const std::string& name) {
+  // The adversarial/freshness presets are owned by trace::scenario so the
+  // goldens, the torture tests and bench_scenarios lock the same bytes.
+  const auto scenarios = trace::scenario::scenario_names();
+  if (std::find(scenarios.begin(), scenarios.end(), name) !=
+      scenarios.end()) {
+    return trace::scenario::make_scenario_trace(name);
+  }
   trace::GeneratorConfig gen;
   gen.num_requests = 20000;
   if (name == "web") {
@@ -112,8 +158,11 @@ trace::Trace make_trace(const std::string& name) {
 
 std::uint64_t scenario_cache_size(const std::string& name) {
   // A fixed constant per scenario (roughly 2-15% of unique bytes) so the
-  // goldens do not depend on unique_bytes() internals.
-  return name == "video" ? (192ULL << 20) : (32ULL << 20);
+  // goldens do not depend on unique_bytes() internals. The adversarial
+  // presets run at trace::scenario::golden_cache_size(), which matches
+  // the 32 MiB web regime.
+  return name == "video" ? (192ULL << 20)
+                         : trace::scenario::golden_cache_size();
 }
 
 GoldenCache run_policy(const std::string& policy, const trace::Trace& trace,
@@ -148,6 +197,7 @@ Scenario compute_actual(const char* name) {
                         lfo.overall.bytes_requested, lfo.overall.bytes_hit};
   actual.lfo.bypassed = lfo.bypassed;
   actual.lfo.demoted_hits = lfo.demoted_hits;
+  actual.lfo.expired_hits = lfo.overall.expired_hits;
 
   opt::OptConfig opt_config;
   opt_config.cache_size = cache_size;
@@ -211,6 +261,8 @@ void expect_matches_golden(const Scenario& expected) {
   diff.check("lfo.bypassed", expected.lfo.bypassed, actual.lfo.bypassed);
   diff.check("lfo.demoted_hits", expected.lfo.demoted_hits,
              actual.lfo.demoted_hits);
+  diff.check("lfo.expired_hits", expected.lfo.expired_hits,
+             actual.lfo.expired_hits);
   diff.check("opt.hit_requests", expected.opt.hit_requests,
              actual.opt.hit_requests);
   diff.check("opt.hit_bytes", expected.opt.hit_bytes, actual.opt.hit_bytes);
@@ -232,7 +284,8 @@ void print_scenario(std::ostream& os, const Scenario& s) {
   cache(s.adaptsize);
   os << ",\n        /*lfo=*/{";
   cache(s.lfo.overall);
-  os << ", " << s.lfo.bypassed << ", " << s.lfo.demoted_hits << "},\n";
+  os << ", " << s.lfo.bypassed << ", " << s.lfo.demoted_hits << ", "
+     << s.lfo.expired_hits << "},\n";
   os << "        /*opt=*/{" << s.opt.hit_requests << ", " << s.opt.hit_bytes
      << ", " << s.opt.total_requests << ", " << s.opt.total_bytes << "},\n";
   os << "    },\n";
@@ -243,6 +296,10 @@ void print_scenario(std::ostream& os, const Scenario& s) {
 TEST(GoldenTraces, Web) { expect_matches_golden(kGolden[0]); }
 TEST(GoldenTraces, Video) { expect_matches_golden(kGolden[1]); }
 TEST(GoldenTraces, FlashCrowd) { expect_matches_golden(kGolden[2]); }
+TEST(GoldenTraces, Flood) { expect_matches_golden(kGolden[3]); }
+TEST(GoldenTraces, Scan) { expect_matches_golden(kGolden[4]); }
+TEST(GoldenTraces, Inversion) { expect_matches_golden(kGolden[5]); }
+TEST(GoldenTraces, Freshness) { expect_matches_golden(kGolden[6]); }
 
 TEST(GoldenTraces, RatiosFollowFromCounts) {
   // The published BHR/OHR are exactly the golden integer ratios; guard

@@ -105,8 +105,8 @@ TEST(Comparison, Fig6LineupRunsAndIsOrdered) {
 }
 
 TEST(Comparison, PrintProducesTable) {
-  std::vector<PolicyResult> results{{"LRU", 0.5, 0.6, 100, 200, 0.01},
-                                    {"OPT", 0.8, 0.9, 180, 200, 0.02}};
+  std::vector<PolicyResult> results{{"LRU", 0.5, 0.6, 100, 200, 0, 0.01},
+                                    {"OPT", 0.8, 0.9, 180, 200, 0, 0.02}};
   std::ostringstream os;
   print_comparison(os, results);
   const auto text = os.str();

@@ -274,6 +274,84 @@ TEST(TraceIo, TextRejectionNamesTheRightLine) {
   expect_text_rejected("# c\n\n1 10\n# c\n2 0\n", "line 5", "size");
 }
 
+// ---------------------------------------------------------- ttl column
+
+TEST(TraceIo, TextMixedTtlAndLegacyLinesParse) {
+  // Old-format (2/3 column) and new-format (4 column) lines coexist in
+  // one file: pre-TTL traces and appended ttl-bearing tails load as a
+  // unit, with absent ttls defaulting to 0 (never expires).
+  std::stringstream ss(
+      "# object size cost [ttl]\n"
+      "10 100\n"           // legacy: cost defaults to size, no ttl
+      "11 200 150.5\n"     // legacy: explicit cost, no ttl
+      "12 300 300 5000\n"  // full four-column form
+      "10 100 100 0\n");   // explicit ttl 0 == legacy semantics
+  const auto t = read_text_trace(ss);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].ttl, 0u);
+  EXPECT_FALSE(t[0].has_ttl());
+  EXPECT_EQ(t[1].ttl, 0u);
+  EXPECT_DOUBLE_EQ(t[1].cost, 150.5);
+  EXPECT_EQ(t[2].ttl, 5000u);
+  EXPECT_TRUE(t[2].has_ttl());
+  EXPECT_EQ(t[3].ttl, 0u);
+}
+
+TEST(TraceIo, TextWriterEmitsTtlColumnOnlyWhenSet) {
+  Trace t;
+  t.push_back({5, 100, 100.0});
+  Request with_ttl{6, 200, 200.0};
+  with_ttl.ttl = 777;
+  t.push_back(with_ttl);
+  std::stringstream ss;
+  write_text_trace(t, ss);
+  const auto text = ss.str();
+  // The ttl-free line keeps the legacy 3-column shape...
+  EXPECT_NE(text.find("\n5 100 100\n"), std::string::npos) << text;
+  // ...and the ttl-bearing one appends the 4th column.
+  EXPECT_NE(text.find("\n6 200 200 777\n"), std::string::npos) << text;
+  // Round trip preserves both.
+  std::stringstream back(text);
+  const auto parsed = read_text_trace(back);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].ttl, 0u);
+  EXPECT_EQ(parsed[1].ttl, 777u);
+}
+
+TEST(TraceIo, TextRejectsMalformedTtlWithLineNumber) {
+  expect_text_rejected("1 10\n2 20 20 x7\n", "line 2", "ttl");
+  expect_text_rejected("# c\n1 10 10 5 extra\n", "line 2", "expected");
+  expect_text_rejected("1 10 10 -4\n", "line 1", "ttl");
+  expect_text_rejected("1 10 10 1.5\n", "line 1", "ttl");
+}
+
+TEST(TraceIo, BinaryTtlRoundTripUsesV2Format) {
+  const auto base = generate_zipf_trace(300, 40, 0.9, 9);
+  Trace with_ttl;
+  for (std::uint64_t i = 0; i < base.size(); ++i) {
+    auto r = base[i];
+    r.ttl = (r.object % 3 == 0) ? 100 + r.object : 0;
+    with_ttl.push_back(r);
+  }
+  std::stringstream ss;
+  write_binary_trace(with_ttl, ss);
+  EXPECT_EQ(ss.str().substr(0, 8), "LFOTRC02");
+  const auto back = read_binary_trace(ss);
+  EXPECT_EQ(back.requests(), with_ttl.requests());
+}
+
+TEST(TraceIo, BinaryTtlFreeTraceStaysLegacyV1) {
+  // A ttl-free trace must keep the v01 byte layout so existing tooling
+  // and checked-in fixtures read it unchanged.
+  const auto t = generate_zipf_trace(200, 30, 0.9, 10);
+  std::stringstream ss;
+  write_binary_trace(t, ss);
+  EXPECT_EQ(ss.str().substr(0, 8), "LFOTRC01");
+  const auto back = read_binary_trace(ss);
+  EXPECT_EQ(back.requests(), t.requests());
+  for (const auto& r : back.requests()) EXPECT_FALSE(r.has_ttl());
+}
+
 TEST(TraceIo, BinaryRoundTrip) {
   const auto t = generate_zipf_trace(500, 50, 0.9, 3);
   std::stringstream ss;

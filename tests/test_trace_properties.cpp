@@ -1,0 +1,295 @@
+// Property-based tests for the scenario generators (tier1): a seeded Rng
+// drives random configurations through every transform and checks the
+// invariants each one advertises in trace/scenario.hpp — dense bounded
+// ids, positive sizes, an exact flood replacement count, an exact scan
+// period, ttl bounds, size consistency after inversion — plus text and
+// binary IO round-trips of ttl-bearing traces. The draws are seeded, so
+// a failure reproduces exactly; bump kIterations locally for a longer
+// fuzz soak.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <sstream>
+
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+#include "trace/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lfo;
+using trace::scenario::FloodConfig;
+using trace::scenario::FreshnessConfig;
+using trace::scenario::InversionConfig;
+using trace::scenario::ScanConfig;
+
+constexpr int kIterations = 25;
+
+/// A random but valid base config: 1-3k requests over a small catalog so
+/// one iteration stays cheap while exercising the id space.
+trace::GeneratorConfig random_base(util::Rng& rng) {
+  trace::GeneratorConfig config;
+  config.num_requests = 1000 + rng.uniform(2000);
+  config.seed = rng.next();
+  config.classes = {trace::web_class(100 + rng.uniform(400))};
+  return config;
+}
+
+std::uint64_t catalog_of(const trace::GeneratorConfig& config) {
+  std::uint64_t total = 0;
+  for (const auto& cc : config.classes) total += cc.num_objects;
+  return total;
+}
+
+void expect_well_formed(const trace::Trace& trace, std::uint64_t max_id,
+                        const char* what) {
+  for (const auto& r : trace.requests()) {
+    ASSERT_LT(r.object, max_id) << what << ": object id out of range";
+    ASSERT_GT(r.size, 0u) << what << ": zero-size request";
+    ASSERT_GE(r.cost, 0.0) << what << ": negative cost";
+  }
+  ASSERT_TRUE(trace::validate_consistent_sizes(
+      std::span<const trace::Request>(trace.requests())))
+      << what << ": object changed size mid-trace";
+}
+
+TEST(ScenarioProperties, FloodReplacesExactlyTheConfiguredCount) {
+  util::Rng rng(0xF100DFA22ULL);
+  for (int i = 0; i < kIterations; ++i) {
+    FloodConfig config;
+    config.base = random_base(rng);
+    config.flood_fraction = rng.uniform01();
+    config.flood_start = rng.uniform(config.base.num_requests);
+    config.flood_duration =
+        rng.uniform(config.base.num_requests - config.flood_start + 1);
+    const auto trace = trace::scenario::one_hit_flood(config);
+    ASSERT_EQ(trace.size(), config.base.num_requests);
+
+    const std::uint64_t catalog = catalog_of(config.base);
+    // Flood ids are appended after the base catalog, each exactly once.
+    std::uint64_t flood_requests = 0;
+    std::map<trace::ObjectId, int> flood_seen;
+    for (const auto& r : trace.requests()) {
+      if (r.object >= catalog) {
+        ++flood_requests;
+        ++flood_seen[r.object];
+        ASSERT_GE(r.size, config.min_flood_size);
+        ASSERT_LE(r.size, config.max_flood_size);
+      }
+    }
+    const auto expected = static_cast<std::uint64_t>(std::llround(
+        config.flood_fraction * static_cast<double>(config.flood_duration)));
+    EXPECT_EQ(flood_requests, expected)
+        << "fraction " << config.flood_fraction << " duration "
+        << config.flood_duration;
+    for (const auto& [id, count] : flood_seen) {
+      EXPECT_EQ(count, 1) << "one-hit wonder " << id << " recurred";
+    }
+    expect_well_formed(trace, catalog + expected, "flood");
+  }
+}
+
+TEST(ScenarioProperties, ScanSweepsWithExactPeriodAndStride) {
+  util::Rng rng(0x5CA9FA22ULL);
+  for (int i = 0; i < kIterations; ++i) {
+    ScanConfig config;
+    config.base = random_base(rng);
+    config.scan_objects = 1 + rng.uniform(64);
+    config.scan_stride = 1 + rng.uniform(8);
+    config.scan_object_size = 1024 + rng.uniform(1 << 20);
+    config.scan_start = rng.uniform(config.base.num_requests);
+    const auto trace = trace::scenario::scan_loop(config);
+    ASSERT_EQ(trace.size(), config.base.num_requests);
+
+    const std::uint64_t catalog = catalog_of(config.base);
+    // Scan requests land exactly on the stride grid, cycling the scan
+    // catalog in order: the k-th scan request is object k % scan_objects.
+    std::uint64_t k = 0;
+    for (std::uint64_t pos = config.scan_start; pos < trace.size();
+         pos += config.scan_stride, ++k) {
+      const auto& r = trace[pos];
+      ASSERT_EQ(r.object, catalog + (k % config.scan_objects))
+          << "position " << pos;
+      ASSERT_EQ(r.size, config.scan_object_size);
+    }
+    // ...and nowhere else.
+    std::uint64_t scan_requests = 0;
+    for (const auto& r : trace.requests()) {
+      if (r.object >= catalog) ++scan_requests;
+    }
+    EXPECT_EQ(scan_requests, k);
+    expect_well_formed(trace, catalog + config.scan_objects, "scan");
+  }
+}
+
+TEST(ScenarioProperties, InversionPreservesSizesAndPrefix) {
+  util::Rng rng(0x1471FA22ULL);
+  for (int i = 0; i < kIterations; ++i) {
+    InversionConfig config;
+    config.base = random_base(rng);
+    config.invert_at = rng.uniform(config.base.num_requests);
+    config.invert_top_k = rng.uniform(64);  // 0 = whole catalog
+    config.invert_period =
+        rng.bernoulli(0.5) ? 0 : 1 + rng.uniform(500);
+    config.invert_until =
+        rng.bernoulli(0.5) ? 0
+                           : config.invert_at +
+                                 rng.uniform(config.base.num_requests -
+                                             config.invert_at + 1);
+    const auto trace = trace::scenario::popularity_inversion(config);
+    const auto base = trace::generate_trace(config.base);
+    ASSERT_EQ(trace.size(), base.size());
+
+    // The prefix is untouched; the suffix is a permutation of identities,
+    // so no new ids appear and sizes stay consistent per object.
+    for (std::uint64_t pos = 0; pos < config.invert_at; ++pos) {
+      ASSERT_EQ(trace[pos].object, base[pos].object) << "position " << pos;
+      ASSERT_EQ(trace[pos].size, base[pos].size);
+    }
+    expect_well_formed(trace, catalog_of(config.base), "inversion");
+  }
+}
+
+TEST(ScenarioProperties, InversionSwapsHeadAndTailOfTheRanking) {
+  // Deterministic spot check on a hand-readable trace: with the whole
+  // catalog inverted and no oscillation, requests for the hottest prefix
+  // object become requests for the coldest ranked one and vice versa —
+  // so their suffix request counts swap exactly.
+  InversionConfig config;
+  config.base.num_requests = 4000;
+  config.base.seed = 99;
+  config.base.classes = {trace::web_class(50)};
+  config.invert_at = 2000;
+  const auto base = trace::generate_trace(config.base);
+  const auto trace = trace::scenario::popularity_inversion(config);
+
+  // Rebuild the transform's ranking (prefix count desc, id asc).
+  std::map<trace::ObjectId, std::uint64_t> prefix_counts;
+  for (std::uint64_t pos = 0; pos < config.invert_at; ++pos) {
+    ++prefix_counts[base[pos].object];
+  }
+  std::vector<trace::ObjectId> ranked;
+  for (const auto& [id, count] : prefix_counts) ranked.push_back(id);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](trace::ObjectId a, trace::ObjectId b) {
+              if (prefix_counts[a] != prefix_counts[b]) {
+                return prefix_counts[a] > prefix_counts[b];
+              }
+              return a < b;
+            });
+  const auto hottest = ranked.front();
+  const auto coldest = ranked.back();
+
+  const auto suffix_count = [&](const trace::Trace& t,
+                                trace::ObjectId object) {
+    std::uint64_t count = 0;
+    for (std::uint64_t pos = config.invert_at; pos < t.size(); ++pos) {
+      if (t[pos].object == object) ++count;
+    }
+    return count;
+  };
+  // The swap is only meaningful when head and tail differ in popularity.
+  ASSERT_GT(suffix_count(base, hottest), suffix_count(base, coldest));
+  EXPECT_EQ(suffix_count(trace, hottest), suffix_count(base, coldest))
+      << "hottest object must inherit the coldest one's request stream";
+  EXPECT_EQ(suffix_count(trace, coldest), suffix_count(base, hottest))
+      << "coldest object must inherit the hottest one's request stream";
+}
+
+TEST(ScenarioProperties, FreshnessStampsBoundedPerObjectTtls) {
+  util::Rng rng(0xF4E5FA22ULL);
+  for (int i = 0; i < kIterations; ++i) {
+    FreshnessConfig config;
+    config.base = random_base(rng);
+    config.ttl_share = rng.uniform01();
+    config.ttl_min = 1 + rng.uniform(100);
+    config.ttl_max = config.ttl_min + rng.uniform(5000);
+    const auto trace = trace::scenario::freshness_expiry(config);
+    const auto base = trace::generate_trace(config.base);
+    ASSERT_EQ(trace.size(), base.size());
+
+    std::map<trace::ObjectId, std::uint64_t> ttl_of;
+    for (std::uint64_t pos = 0; pos < trace.size(); ++pos) {
+      const auto& r = trace[pos];
+      // Only the ttl differs from the base request stream.
+      ASSERT_EQ(r.object, base[pos].object);
+      ASSERT_EQ(r.size, base[pos].size);
+      if (r.has_ttl()) {
+        ASSERT_GE(r.ttl, config.ttl_min);
+        ASSERT_LE(r.ttl, config.ttl_max);
+      }
+      // Every request of an object carries the same ttl.
+      const auto it = ttl_of.emplace(r.object, r.ttl).first;
+      ASSERT_EQ(it->second, r.ttl) << "object " << r.object
+                                   << " changed ttl mid-trace";
+    }
+    expect_well_formed(trace, catalog_of(config.base), "freshness");
+  }
+}
+
+TEST(ScenarioProperties, GeneratorsAreDeterministicPerConfig) {
+  for (const auto& name : trace::scenario::scenario_names()) {
+    const auto a = trace::scenario::make_scenario_trace(name);
+    const auto b = trace::scenario::make_scenario_trace(name);
+    EXPECT_EQ(a.requests(), b.requests()) << name;
+  }
+}
+
+TEST(ScenarioProperties, PresetTracesRoundTripThroughBothFormats) {
+  // Covers the ttl-bearing freshness preset (binary v02, 4-column text)
+  // and the ttl-free presets (legacy v01 byte layout) in one sweep.
+  for (const auto& name : trace::scenario::scenario_names()) {
+    const auto trace = trace::scenario::make_scenario_trace(name);
+
+    std::stringstream binary;
+    trace::write_binary_trace(trace, binary);
+    EXPECT_EQ(trace::read_binary_trace(binary).requests(), trace.requests())
+        << name << ": binary round trip";
+
+    // The text reader densifies ids by first appearance.
+    auto densified = trace.requests();
+    trace::densify_object_ids(densified);
+    std::stringstream text;
+    trace::write_text_trace(trace, text);
+    EXPECT_EQ(trace::read_text_trace(text).requests(), densified)
+        << name << ": text round trip";
+  }
+}
+
+TEST(ScenarioProperties, DegenerateConfigsAreRejected) {
+  FloodConfig flood;
+  flood.base = trace::GeneratorConfig{};
+  flood.flood_fraction = 1.5;
+  EXPECT_THROW(trace::scenario::one_hit_flood(flood), std::invalid_argument);
+  flood.flood_fraction = 0.5;
+  flood.min_flood_size = 10;
+  flood.max_flood_size = 5;
+  EXPECT_THROW(trace::scenario::one_hit_flood(flood), std::invalid_argument);
+
+  ScanConfig scan;
+  scan.scan_objects = 0;
+  EXPECT_THROW(trace::scenario::scan_loop(scan), std::invalid_argument);
+  scan.scan_objects = 8;
+  scan.scan_stride = 0;
+  EXPECT_THROW(trace::scenario::scan_loop(scan), std::invalid_argument);
+
+  FreshnessConfig fresh;
+  fresh.ttl_share = -0.1;
+  EXPECT_THROW(trace::scenario::freshness_expiry(fresh),
+               std::invalid_argument);
+  fresh.ttl_share = 0.5;
+  fresh.ttl_min = 10;
+  fresh.ttl_max = 5;
+  EXPECT_THROW(trace::scenario::freshness_expiry(fresh),
+               std::invalid_argument);
+
+  EXPECT_THROW(trace::scenario::make_scenario_trace("no-such-scenario"),
+               std::invalid_argument);
+}
+
+}  // namespace

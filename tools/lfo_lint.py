@@ -11,7 +11,7 @@ hotpath      Functions tagged ``LFO_HOT_PATH`` must not allocate or
              lock: no ``new``/``malloc``/``make_unique``/container
              growth calls and no mutexes inside the tagged body.
 nondet       Decision-affecting code (``src/core``, ``src/opt``,
-             ``src/gbdt``) must be deterministic: no ``rand``/
+             ``src/gbdt``, ``src/trace``) must be deterministic: no ``rand``/
              ``random_device``/``mt19937``, no wall clocks
              (``steady_clock``/``system_clock``/...), and no range-for
              iteration over ``std::unordered_*`` containers (hash
@@ -51,7 +51,7 @@ CPP_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".hxx", ".h"}
 #: Directories (relative to --root) whose code decides cache behavior and
 #: therefore falls under the determinism contract (see DESIGN.md
 #: "same_decisions"): identical inputs must yield identical decisions.
-DECISION_DIRS = ("src/core", "src/opt", "src/gbdt")
+DECISION_DIRS = ("src/core", "src/opt", "src/gbdt", "src/trace")
 
 ALLOW_RE = re.compile(r"lfo-lint:\s*allow\((?P<rule>[a-z-]+)\)\s*:\s*\S")
 

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Build the bench harnesses in Release and run the Fig 7 serving-throughput
-# bench with machine-readable output.
+# Build the bench harnesses in Release and run a machine-readable bench.
 #
-#   tools/run_bench.sh [extra bench_fig7_throughput flags...]
+#   tools/run_bench.sh [--scenarios] [extra bench flags...]
 #
-# Writes BENCH_fig7.json (predictions/sec and ns/request per inference
-# engine, speedups, decision-identity checks, git revision) into the repo
-# root; the human-readable CSV goes to stdout as usual. Pass a different
-# --json=<path> to relocate the JSON, or e.g. --predict-requests=200000 to
-# rescale the workload.
+# Default: the Fig 7 serving-throughput bench -> BENCH_fig7.json
+# (predictions/sec and ns/request per inference engine, speedups,
+# decision-identity checks, git revision).
+#
+# --scenarios: the adversarial & freshness workload suite ->
+# BENCH_scenarios.json (per-scenario BHR for guarded LFO / heuristic-only
+# / LRU, RolloutGuard transition counts, expired hits; exits nonzero if
+# the guarded-vs-heuristic robustness gate is violated).
+#
+# The human-readable CSV goes to stdout as usual. Pass a different
+# --json=<path> to relocate the JSON, or bench-specific flags (e.g.
+# --predict-requests=200000 for fig7, --min-serving-accuracy=0.7 for
+# --scenarios) to rescale the workload.
 
 set -euo pipefail
 
@@ -16,10 +23,17 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+TARGET="bench_fig7_throughput"
 JSON_OUT="BENCH_fig7.json"
+BENCH_NAME="fig7 throughput"
 EXTRA_ARGS=()
 for arg in "$@"; do
   case "$arg" in
+    --scenarios)
+      TARGET="bench_scenarios"
+      JSON_OUT="BENCH_scenarios.json"
+      BENCH_NAME="adversarial scenarios"
+      ;;
     --json=*) JSON_OUT="${arg#--json=}" ;;
     *) EXTRA_ARGS+=("$arg") ;;
   esac
@@ -27,10 +41,10 @@ done
 
 printf '\n=== bench: Release build ===\n'
 cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release
-cmake --build build-perf --target bench_fig7_throughput -j "$JOBS"
+cmake --build build-perf --target "$TARGET" -j "$JOBS"
 
-printf '\n=== bench: fig7 throughput (json -> %s) ===\n' "$JSON_OUT"
-./build-perf/bench/bench_fig7_throughput --json="$JSON_OUT" \
+printf '\n=== bench: %s (json -> %s) ===\n' "$BENCH_NAME" "$JSON_OUT"
+"./build-perf/bench/$TARGET" --json="$JSON_OUT" \
     ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}
 
 printf '\n=== %s ===\n' "$JSON_OUT"
