@@ -22,7 +22,9 @@
 #include "core/windowed.hpp"
 #include "features/dataset_builder.hpp"
 #include "obs/exporters.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry_server.hpp"
 #include "obs/trace_span.hpp"
 #include "util/csv.hpp"
 
@@ -320,6 +322,85 @@ int main(int argc, char** argv) {
             << "; recorded spans: " << obs::recorded_span_count()
             << "; expected overhead well under 5%\n";
 
+  // --- Live telemetry overhead: the obs-on async pipeline again, now
+  // with an in-process TelemetryServer being scraped at 1 Hz
+  // (/metrics + /stats?history) and a FlightRecorder capturing one
+  // frame per window boundary. Scrape handlers are pure registry
+  // reads, so decisions must match the unscraped obs-on run and the
+  // wall-clock delta must stay under 2%.
+  double scraped_secs = 0.0;
+  double scrape_overhead_pct = 0.0;
+  bool telemetry_same_decisions = false;
+  std::uint64_t scrape_count = 0;
+#if LFO_METRICS_ENABLED
+  {
+    obs::set_metrics_enabled(true);
+    obs::set_tracing_enabled(true);
+    obs::FlightRecorder recorder(256);
+    obs::TelemetryServerConfig tconfig;
+    tconfig.flight_recorder = &recorder;
+    obs::TelemetryServer server(std::move(tconfig));
+    if (!server.start()) {
+      std::cout << "# telemetry server failed to start: "
+                << server.last_error() << '\n';
+    } else {
+      std::atomic<bool> stop_scraper{false};
+      std::atomic<std::uint64_t> scrapes{0};
+      std::thread scraper([&] {
+        while (!stop_scraper.load(std::memory_order_acquire)) {
+          if (!obs::fetch_local(server.port(), "/metrics").empty()) {
+            scrapes.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (!obs::fetch_local(server.port(), "/stats?history=16")
+                   .empty()) {
+            scrapes.fetch_add(1, std::memory_order_relaxed);
+          }
+          // 1 Hz cadence, polling the stop flag so shutdown is prompt.
+          for (int i = 0;
+               i < 20 && !stop_scraper.load(std::memory_order_acquire);
+               ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        }
+      });
+      auto scraped_config = wconfig;
+      scraped_config.flight_recorder = &recorder;
+      core::WindowedResult scraped_result;
+      for (std::uint64_t rep = 0; rep < obs_repeats; ++rep) {
+        obs::clear_trace();
+        recorder.clear();
+        auto [secs, r] = timed_pipeline(pipe_trace, scraped_config,
+                                        /*async=*/true, train_threads);
+        if (rep == 0 || secs < scraped_secs) scraped_secs = secs;
+        scraped_result = std::move(r);
+      }
+      stop_scraper.store(true, std::memory_order_release);
+      scraper.join();
+      server.stop();
+      scrape_count = scrapes.load(std::memory_order_relaxed);
+      telemetry_same_decisions =
+          core::same_decisions(on_result, scraped_result);
+      scrape_overhead_pct = (scraped_secs / on_secs - 1.0) * 100.0;
+
+      std::cout << "\n# Live telemetry overhead (1 Hz scraper, best of "
+                << obs_repeats << ")\n";
+      util::CsvWriter scrape_csv(std::cout);
+      scrape_csv.header({"telemetry_mode", "seconds", "overhead_pct"});
+      scrape_csv.field("unscraped").field(on_secs).field(0.0).end_row();
+      scrape_csv.field("scraped_1hz").field(scraped_secs)
+          .field(scrape_overhead_pct).end_row();
+      std::cout << "# identical decisions (scraped vs unscraped): "
+                << (telemetry_same_decisions ? "yes" : "NO (bug)")
+                << "; scrapes served: " << scrape_count
+                << "; recorder frames: " << recorder.size()
+                << " (windows: " << scraped_result.windows.size()
+                << "); acceptance: overhead < 2%\n";
+    }
+  }
+#else
+  std::cout << "\n# Live telemetry overhead: skipped (LFO_METRICS=OFF)\n";
+#endif
+
   const auto prefix = args.get_string("obs-out-prefix");
   if (!prefix.empty()) {
     std::ofstream prom(prefix + ".prom");
@@ -358,7 +439,10 @@ int main(int argc, char** argv) {
         .set("async_pipeline_speedup", sync_secs / async_secs)
         .set("rollout_guard_same_decisions", guard_same_decisions)
         .set("rollout_guard_overhead_pct", guard_overhead_pct)
-        .set("obs_overhead_pct", overhead_pct);
+        .set("obs_overhead_pct", overhead_pct)
+        .set("telemetry_scrape_overhead_pct", scrape_overhead_pct)
+        .set("telemetry_same_decisions", telemetry_same_decisions)
+        .set("telemetry_scrapes_served", scrape_count);
     doc.write_file(json_path);
     std::cout << "# wrote " << json_path << '\n';
   }

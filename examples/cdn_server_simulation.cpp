@@ -7,14 +7,25 @@
 // AdaptSize to show the adaptation.
 //
 // Run: ./build/examples/cdn_server_simulation [--requests=N] [--seed=S]
+//          [--obs-port=P] [--obs-linger=SECONDS]
+//
+// --obs-port starts the loopback telemetry server (0 = ephemeral port;
+// the bound port is printed) serving /metrics, /stats, /healthz, /vars
+// and /trace for the duration of the run. --obs-linger keeps the
+// process (and the endpoints) alive for SECONDS after the simulation
+// finishes, so `curl` has something to talk to.
 
+#include <chrono>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "cache/factory.hpp"
 #include "core/windowed.hpp"
+#include "sim/telemetry.hpp"
 #include "trace/generator.hpp"
 #include "trace/trace_stats.hpp"
 #include "util/strings.hpp"
@@ -24,14 +35,23 @@ int main(int argc, char** argv) {
 
   std::uint64_t num_requests = 240000;
   std::uint64_t seed = 7;
+  bool obs_enabled = false;
+  std::uint64_t obs_port = 0;
+  std::uint64_t obs_linger = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--requests=", 0) == 0) {
       num_requests = *util::parse_uint(arg.substr(11));
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = *util::parse_uint(arg.substr(7));
+    } else if (arg.rfind("--obs-port=", 0) == 0) {
+      obs_enabled = true;
+      obs_port = *util::parse_uint(arg.substr(11));
+    } else if (arg.rfind("--obs-linger=", 0) == 0) {
+      obs_linger = *util::parse_uint(arg.substr(13));
     } else {
-      std::cerr << "usage: cdn_server_simulation [--requests=N] [--seed=S]\n";
+      std::cerr << "usage: cdn_server_simulation [--requests=N] [--seed=S]"
+                   " [--obs-port=P] [--obs-linger=SECONDS]\n";
       return 2;
     }
   }
@@ -60,6 +80,22 @@ int main(int argc, char** argv) {
   core::WindowedConfig lfo_config;
   lfo_config.lfo.set_cache_size(cache_size);
   lfo_config.window_size = num_requests / 8;
+
+  sim::TelemetryOptions telemetry_options;
+  telemetry_options.port = static_cast<std::uint16_t>(obs_port);
+  std::unique_ptr<sim::TelemetrySession> telemetry;
+  if (obs_enabled) {
+    telemetry = std::make_unique<sim::TelemetrySession>(telemetry_options);
+    telemetry->wire(lfo_config);
+    if (!telemetry->start()) {
+      std::cerr << "telemetry: failed to start: "
+                << telemetry->server().last_error() << '\n';
+      return 1;
+    }
+    // Parsed by tools/obs_smoke.sh — keep the format stable.
+    std::cout << "telemetry: listening on 127.0.0.1:" << telemetry->port()
+              << std::endl;
+  }
 
   // Drive LFO through the windowed pipeline.
   const auto result = core::run_windowed_lfo(trace, lfo_config);
@@ -110,5 +146,12 @@ int main(int argc, char** argv) {
             << " hits re-scored below the cutoff)\n";
   std::cout << "         S4LRU bhr=" << s4lru->stats().bhr()
             << "  AdaptSize bhr=" << adaptsize->stats().bhr() << '\n';
+
+  if (telemetry && obs_linger > 0) {
+    std::cout << "telemetry: lingering " << obs_linger
+              << "s for scrapes (127.0.0.1:" << telemetry->port() << ")"
+              << std::endl;
+    std::this_thread::sleep_for(std::chrono::seconds(obs_linger));
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_span.hpp"
 #include "util/check.hpp"
@@ -249,6 +250,12 @@ void emit_report(const WindowedConfig& config, const WindowReport& report) {
   }
   LFO_GAUGE_SET("lfo_rollout_state",
                 static_cast<double>(static_cast<int>(report.rollout.state)));
+  if (config.flight_recorder != nullptr) {
+    // After the gauges/counters above so the frame's deltas are exactly
+    // this window's contribution; before window_hook so hooks observe a
+    // recorder that already holds their window.
+    config.flight_recorder->record("window", report.index);
+  }
   if (config.window_hook) {
     // The header's contract says the hook must not throw: enforce it.
     // An unwinding hook would corrupt the pipeline mid-flight (and in

@@ -12,6 +12,10 @@
 #include "obs/model_health.hpp"
 #include "trace/trace.hpp"
 
+namespace lfo::obs {
+class FlightRecorder;
+}  // namespace lfo::obs
+
 namespace lfo::core {
 
 struct WindowReport;
@@ -78,6 +82,13 @@ struct WindowedConfig {
   /// mode.
   std::function<bool(std::size_t window_index, std::uint32_t attempt)>
       train_fault;
+  /// Telemetry flight recorder (obs::FlightRecorder): when set, the
+  /// pipeline records one frame per window boundary, after the window's
+  /// rollout decision and gauges are published and before window_hook
+  /// runs — so frame k's counter deltas are exactly window k's
+  /// contribution. A pure registry read; never changes decisions
+  /// (verified by the same_decisions scrape tests).
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// Observability of the (a)synchronous retraining pipeline, per window.

@@ -1,0 +1,23 @@
+#include "obs/build_info.hpp"
+
+// The definitions are injected per-target by src/obs/CMakeLists.txt;
+// the fallbacks keep the file compiling standalone (unit tests, IDEs).
+#ifndef LFO_GIT_REVISION
+#define LFO_GIT_REVISION "unknown"
+#endif
+#ifndef LFO_COMPILER_INFO
+#define LFO_COMPILER_INFO "unknown"
+#endif
+#ifndef LFO_BUILD_TYPE
+#define LFO_BUILD_TYPE "unknown"
+#endif
+
+namespace lfo::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{LFO_GIT_REVISION, LFO_COMPILER_INFO,
+                              LFO_BUILD_TYPE};
+  return info;
+}
+
+}  // namespace lfo::obs

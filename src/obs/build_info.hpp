@@ -1,0 +1,27 @@
+#ifndef LFO_OBS_BUILD_INFO_HPP
+#define LFO_OBS_BUILD_INFO_HPP
+
+#include <string>
+
+namespace lfo::obs {
+
+/// Compile-time attribution of the running binary, resolved when the
+/// obs library was configured (src/obs/CMakeLists.txt bakes in the git
+/// revision, compiler id+version and CMAKE_BUILD_TYPE). Exported as the
+/// conventional Prometheus `lfo_build_info` info-gauge (constant value
+/// 1, the payload lives in the labels) and as the `build_info` object
+/// of every JSONL snapshot / `/stats` response, so every scrape and
+/// every BENCH artifact is attributable to a commit.
+struct BuildInfo {
+  std::string revision;    ///< short git hash at configure time
+  std::string compiler;    ///< "<id> <version>", e.g. "GNU 13.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE, e.g. "RelWithDebInfo"
+};
+
+/// The process's build attribution (values are stable for the process
+/// lifetime). Fields fall back to "unknown" outside a git checkout.
+const BuildInfo& build_info();
+
+}  // namespace lfo::obs
+
+#endif  // LFO_OBS_BUILD_INFO_HPP

@@ -1,6 +1,8 @@
 #include "obs/exporters.hpp"
 
 #include <cctype>
+
+#include "obs/build_info.hpp"
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -21,6 +23,21 @@ std::string number_text(double v) {
 /// LatencyHistogram::quantile) become null so the line stays parseable.
 std::string json_number_or_null(double v) {
   return std::isfinite(v) ? number_text(v) : "null";
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string prometheus_label_value(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -65,6 +82,12 @@ std::string json_escaped(std::string_view text) {
 
 void write_prometheus_text(std::ostream& os) {
   const auto snap = MetricsRegistry::instance().snapshot();
+  const auto& info = build_info();
+  os << "# TYPE lfo_build_info gauge\n"
+     << "lfo_build_info{revision=\"" << prometheus_label_value(info.revision)
+     << "\",compiler=\"" << prometheus_label_value(info.compiler)
+     << "\",build_type=\"" << prometheus_label_value(info.build_type)
+     << "\"} 1\n";
   for (const auto& c : snap.counters) {
     const auto name = prometheus_name(c.name);
     os << "# TYPE " << name << " counter\n";
@@ -88,14 +111,8 @@ void write_prometheus_text(std::ostream& os) {
   }
 }
 
-void write_jsonl_snapshot(std::ostream& os, std::string_view label) {
-  const auto snap = MetricsRegistry::instance().snapshot();
-  os << "{\"monotonic_seconds\":"
-     << number_text(static_cast<double>(detail::monotonic_ns()) * 1e-9);
-  if (!label.empty()) {
-    os << ",\"label\":\"" << json_escaped(label) << '"';
-  }
-  os << ",\"counters\":{";
+void append_snapshot_json(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "\"counters\":{";
   bool first = true;
   for (const auto& c : snap.counters) {
     if (!first) os << ',';
@@ -120,7 +137,28 @@ void write_jsonl_snapshot(std::ostream& os, std::string_view label) {
        << ",\"p90\":" << json_number_or_null(h.p90)
        << ",\"p99\":" << json_number_or_null(h.p99) << '}';
   }
-  os << "}}\n";
+  os << '}';
+}
+
+void append_build_info_json(std::ostream& os) {
+  const auto& info = build_info();
+  os << "\"build_info\":{\"revision\":\"" << json_escaped(info.revision)
+     << "\",\"compiler\":\"" << json_escaped(info.compiler)
+     << "\",\"build_type\":\"" << json_escaped(info.build_type) << "\"}";
+}
+
+void write_jsonl_snapshot(std::ostream& os, std::string_view label) {
+  const auto snap = MetricsRegistry::instance().snapshot();
+  os << "{\"monotonic_seconds\":"
+     << number_text(static_cast<double>(detail::monotonic_ns()) * 1e-9);
+  if (!label.empty()) {
+    os << ",\"label\":\"" << json_escaped(label) << '"';
+  }
+  os << ',';
+  append_build_info_json(os);
+  os << ',';
+  append_snapshot_json(os, snap);
+  os << "}\n";
 }
 
 }  // namespace lfo::obs

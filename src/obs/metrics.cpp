@@ -181,6 +181,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       sample.cumulative_buckets.emplace_back(
           LatencyHistogram::bucket_upper_seconds(i), cum);
     }
+    // observe_ns() bumps its bucket and count_ as two relaxed ops, so a
+    // snapshot racing live observers can read a bucket increment whose
+    // count_ increment it hasn't seen. Clamp so the exported exposition
+    // keeps the Prometheus invariant `+Inf bucket (== count) >= every
+    // cumulative bucket` — scrapers diff these and reject regressions.
+    sample.count = std::max(sample.count, cum);
     sample.p50 = h.quantile(0.50);
     sample.p90 = h.quantile(0.90);
     sample.p99 = h.quantile(0.99);

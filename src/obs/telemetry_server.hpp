@@ -1,0 +1,150 @@
+#ifndef LFO_OBS_TELEMETRY_SERVER_HPP
+#define LFO_OBS_TELEMETRY_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+/// Marker consumed by tools/lfo_lint.py: the tagged function DEFINITION
+/// handles externally supplied HTTP input. lfo_lint rejects LFO_CHECK /
+/// LFO_DCHECK inside the body — malformed input must map to a 4xx
+/// response, never to a process abort — unless the line carries an
+/// explicit `// lfo-lint: allow(endpoint): why`. Expands to nothing.
+#define LFO_ENDPOINT_HANDLER
+
+namespace lfo::obs {
+
+/// Health verdict served on /healthz. `serving` decides the status code
+/// (200 vs 503); `detail` is echoed in the JSON body for operators.
+struct HealthStatus {
+  bool serving = true;
+  std::string detail = "ok";
+};
+
+/// One parsed-and-answered HTTP exchange (also the unit the in-process
+/// tests drive directly, without sockets).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+struct TelemetryServerConfig {
+  /// TCP port to bind on 127.0.0.1. 0 picks an ephemeral port; read the
+  /// actual one back via TelemetryServer::port().
+  std::uint16_t port = 0;
+  /// Flight recorder backing `/stats?history=N` and `/trace` context.
+  /// May be null: history queries then return an empty array.
+  FlightRecorder* flight_recorder = nullptr;
+  /// Callback behind /healthz. Null means "always serving".
+  std::function<HealthStatus()> health = nullptr;
+  /// Hard cap on a request head (start line + headers). Longer requests
+  /// are answered 431 and the connection dropped.
+  std::size_t max_request_bytes = 8192;
+  /// Per-connection socket read/write timeout.
+  double io_timeout_seconds = 2.0;
+};
+
+#if LFO_METRICS_ENABLED
+
+/// Dependency-free HTTP/1.1 telemetry responder over plain POSIX
+/// sockets: one accept thread, serial request handling, `Connection:
+/// close` on every response. Endpoints:
+///
+///   GET /metrics            Prometheus text exposition (exporters.cpp)
+///   GET /stats[?history=N]  JSON snapshot + last N flight frames
+///   GET /healthz            200/503 from the health callback
+///   GET /vars?name=<m>      single metric as a bare value
+///   GET /trace              chrome://tracing JSON dump
+///
+/// Every handler is a pure registry/recorder read — serving a scrape can
+/// never change a caching decision (tests/test_telemetry_server.cpp
+/// asserts same_decisions with a live scraper). Binds 127.0.0.1 only:
+/// this is an operator loopback port, not an internet-facing server.
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(TelemetryServerConfig config);
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Bind + listen + start the accept thread. Returns false (with the
+  /// reason in last_error()) if the port is taken or sockets fail.
+  bool start();
+  /// Stop accepting, join the thread, close the listener. Idempotent.
+  void stop();
+  bool running() const { return listen_fd_ >= 0; }
+
+  /// Port actually bound (resolves port 0), 0 before start().
+  std::uint16_t port() const { return port_; }
+  const std::string& last_error() const { return last_error_; }
+
+  /// Parse one raw request head and produce the response — the whole
+  /// HTTP brain, exposed so tests exercise routing and malformed-input
+  /// handling without a socket in sight.
+  HttpResponse handle_request_for_test(std::string_view request) const {
+    return handle_request(request);
+  }
+
+ private:
+  HttpResponse handle_request(std::string_view request) const;
+  void accept_loop();
+  void serve_connection(int fd) const;
+
+  TelemetryServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string last_error_;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+};
+
+/// Minimal loopback HTTP GET for tests and the bench scraper thread:
+/// connects to 127.0.0.1:port, sends `GET <target>`, returns the raw
+/// response (status line + headers + body) or an empty string on any
+/// socket failure.
+std::string fetch_local(std::uint16_t port, std::string_view target,
+                        double timeout_seconds = 2.0);
+
+#else  // !LFO_METRICS_ENABLED — no server, no socket code is compiled.
+
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(TelemetryServerConfig config)
+      : config_(std::move(config)) {}
+  bool start() {
+    last_error_ = "telemetry server compiled out (LFO_METRICS=OFF)";
+    return false;
+  }
+  void stop() {}
+  bool running() const { return false; }
+  std::uint16_t port() const { return 0; }
+  const std::string& last_error() const { return last_error_; }
+  HttpResponse handle_request_for_test(std::string_view) const {
+    return HttpResponse{503, "text/plain; charset=utf-8",
+                        "telemetry compiled out\n"};
+  }
+
+ private:
+  TelemetryServerConfig config_;
+  std::string last_error_;
+};
+
+inline std::string fetch_local(std::uint16_t, std::string_view,
+                               double = 2.0) {
+  return {};
+}
+
+#endif  // LFO_METRICS_ENABLED
+
+}  // namespace lfo::obs
+
+#endif  // LFO_OBS_TELEMETRY_SERVER_HPP

@@ -1,0 +1,68 @@
+#include "sim/telemetry.hpp"
+
+#include <string>
+#include <utility>
+
+#include "core/rollout.hpp"
+
+namespace lfo::sim {
+
+TelemetrySession::TelemetrySession(TelemetryOptions options)
+    : options_(options), recorder_(options.history_capacity) {
+  obs::TelemetryServerConfig server_config;
+  server_config.port = options_.port;
+  server_config.flight_recorder = &recorder_;
+  server_config.health = [this] { return health(); };
+  server_ = std::make_unique<obs::TelemetryServer>(std::move(server_config));
+}
+
+TelemetrySession::~TelemetrySession() { stop(); }
+
+void TelemetrySession::wire(core::WindowedConfig& config) {
+  config.flight_recorder = &recorder_;
+  auto inner = std::move(config.window_hook);
+  config.window_hook = [this, inner = std::move(inner)](
+                           const core::WindowReport& report) {
+    rollout_state_.store(static_cast<int>(report.rollout.state),
+                         std::memory_order_relaxed);
+    drift_warning_.store(report.health.drift_warning,
+                         std::memory_order_relaxed);
+    if (inner) inner(report);
+  };
+}
+
+bool TelemetrySession::start() {
+  if (options_.interval_seconds > 0.0 &&
+      !recorder_.interval_capture_running()) {
+    recorder_.start_interval_capture(options_.interval_seconds);
+  }
+  return server_->start();
+}
+
+void TelemetrySession::stop() {
+  server_->stop();
+  recorder_.stop_interval_capture();
+}
+
+obs::HealthStatus TelemetrySession::health() const {
+  const int state = rollout_state_.load(std::memory_order_relaxed);
+  const bool drifting =
+      options_.unhealthy_on_drift_warning &&
+      drift_warning_.load(std::memory_order_relaxed);
+  obs::HealthStatus status;
+  if (state == static_cast<int>(core::RolloutState::kFallback)) {
+    status.serving = false;
+    status.detail = "rollout fallback: heuristic serving";
+  } else if (drifting) {
+    status.serving = false;
+    status.detail = "feature drift warning active";
+  } else if (state < 0) {
+    status.detail = "no window emitted yet";
+  } else {
+    status.detail = std::string("rollout state: ") +
+                    core::to_string(static_cast<core::RolloutState>(state));
+  }
+  return status;
+}
+
+}  // namespace lfo::sim

@@ -1,0 +1,78 @@
+#ifndef LFO_SIM_TELEMETRY_HPP
+#define LFO_SIM_TELEMETRY_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/windowed.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry_server.hpp"
+
+namespace lfo::sim {
+
+struct TelemetryOptions {
+  /// Port for the loopback HTTP server; 0 picks an ephemeral port.
+  std::uint16_t port = 0;
+  /// Flight-recorder ring capacity (frames retained).
+  std::size_t history_capacity = 256;
+  /// Wall-clock "interval" frames between window boundaries; <= 0
+  /// disables the background capture thread.
+  double interval_seconds = 0.0;
+  /// /healthz reports 503 while a window's feature-drift score is at or
+  /// above this many times WindowedConfig::drift_warn_threshold'd
+  /// warning (i.e. while report.health.drift_warning is set). Rollout
+  /// fallback always reports 503.
+  bool unhealthy_on_drift_warning = true;
+};
+
+/// Owns the flight recorder + telemetry server for one windowed run and
+/// wires both into a core::WindowedConfig:
+///
+///   sim::TelemetrySession telemetry(options);
+///   telemetry.wire(config);          // before run_windowed_lfo
+///   telemetry.start();               // serve /metrics, /stats, ...
+///
+/// wire() points config.flight_recorder at the ring (one frame per
+/// window boundary) and CHAINS config.window_hook — the caller's hook
+/// still runs; the chained part only mirrors each report's rollout
+/// state and drift warning into atomics the /healthz callback reads.
+/// Everything here observes the pipeline; nothing feeds back into
+/// decisions (same_decisions holds with the session live and scraped).
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(TelemetryOptions options = {});
+  ~TelemetrySession();
+
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  /// Attach recorder + health tracking to `config`. Call before the run;
+  /// safe to call on multiple configs (they share this session's state).
+  void wire(core::WindowedConfig& config);
+
+  /// Start the HTTP server (and the interval capture thread when
+  /// configured). Returns false with the reason in server().last_error().
+  bool start();
+  void stop();
+
+  obs::FlightRecorder& recorder() { return recorder_; }
+  obs::TelemetryServer& server() { return *server_; }
+  std::uint16_t port() const { return server_->port(); }
+
+  /// The /healthz verdict, also callable in-process.
+  obs::HealthStatus health() const;
+
+ private:
+  TelemetryOptions options_;
+  obs::FlightRecorder recorder_;
+  std::unique_ptr<obs::TelemetryServer> server_;
+  /// static_cast<int>(core::RolloutState) of the latest emitted window,
+  /// -1 before the first window.
+  std::atomic<int> rollout_state_{-1};
+  std::atomic<bool> drift_warning_{false};
+};
+
+}  // namespace lfo::sim
+
+#endif  // LFO_SIM_TELEMETRY_HPP

@@ -3,6 +3,7 @@
 // suppressed nondeterminism, side-effect-free checks, conforming metric
 // names. Never compiled.
 #define LFO_HOT_PATH
+#define LFO_ENDPOINT_HANDLER
 #define LFO_CHECK_EQ(a, b)
 #define LFO_COUNTER_INC(name)
 
@@ -37,5 +38,23 @@ inline std::vector<std::uint64_t> sorted_keys(
 }
 
 inline void count_hit() { LFO_COUNTER_INC("lfo_cache_hits_total"); }
+
+// Endpoint metric table with conforming counter names: the metric-name
+// rule's table form must stay quiet here.
+struct EndpointMetric {
+  const char* path;
+  const char* metric;
+};
+constexpr EndpointMetric kEndpointRequestCounters[] = {
+    {"/metrics", "lfo_telemetry_metrics_requests_total"},
+};
+
+// Endpoint handler that maps malformed input to a 4xx instead of
+// aborting: the endpoint rule must stay quiet here.
+LFO_ENDPOINT_HANDLER
+inline int handle_request(bool well_formed) {
+  if (!well_formed) return 400;
+  return 200;
+}
 
 }  // namespace fixture

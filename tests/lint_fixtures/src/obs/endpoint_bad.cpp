@@ -1,0 +1,23 @@
+// lfo_lint fixture: exactly one [endpoint] violation — an LFO_CHECK
+// reachable from untrusted request bytes inside an endpoint handler.
+// Malformed input must map to a 4xx response, never abort. Never
+// compiled.
+#define LFO_ENDPOINT_HANDLER
+#define LFO_CHECK(cond)
+
+#include <string>
+
+namespace fixture {
+
+struct Response {
+  int status;
+  std::string body;
+};
+
+LFO_ENDPOINT_HANDLER
+inline Response handle_vars(const std::string& target) {
+  LFO_CHECK(!target.empty());  // seeded violation: aborts on bad input
+  return {200, "ok"};
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// lfo_lint fixture: exactly one [metric-name] violation — an endpoint
+// metric table entry whose counter name lacks the _total suffix. The
+// {"/path", "name"} form is how the telemetry server registers its
+// per-endpoint request counters. Never compiled.
+
+namespace fixture {
+
+struct EndpointMetric {
+  const char* path;
+  const char* metric;
+};
+
+constexpr EndpointMetric kEndpointRequestCounters[] = {
+    {"/metrics", "lfo_telemetry_metrics_requests_total"},
+    {"/stats", "lfo_telemetry_stats_requests"},  // seeded: missing _total
+};
+
+}  // namespace fixture

@@ -68,15 +68,17 @@ def main() -> int:
     check_bad_fixture("src/trace/nondet_bad.cpp", "nondet")
     check_bad_fixture("src/util/check_effect_bad.cpp", "check-effect")
     check_bad_fixture("src/obs/metric_name_bad.cpp", "metric-name")
+    check_bad_fixture("src/obs/endpoint_metric_name_bad.cpp", "metric-name")
+    check_bad_fixture("src/obs/endpoint_bad.cpp", "endpoint")
     check_clean_fixture("src/core/clean.cpp")
 
-    # The whole fixture tree at once: the five seeded violations and
+    # The whole fixture tree at once: the seven seeded violations and
     # nothing else (guards against cross-file false positives).
     code, out = run_lint(FIXTURES / "src")
     total = len([l for l in out.splitlines() if "[" in l and "]" in l])
-    print("full fixture tree (expect exactly 5 violations):")
+    print("full fixture tree (expect exactly 7 violations):")
     expect(code == 1, "exit status 1", f"got {code}")
-    expect(total == 5, "exactly 5 violations", f"got {total}:\n{out}")
+    expect(total == 7, "exactly 7 violations", f"got {total}:\n{out}")
 
     if failures:
         print(f"\n{failures} assertion(s) failed")

@@ -2,13 +2,13 @@
 // formats (Prometheus text, JSONL, chrome://tracing JSON), and the
 // model-health monitor wired through the windowed pipeline.
 //
-// The format tests use a small recursive-descent JSON parser instead of
-// string matching, so structural regressions (unbalanced events, broken
+// The format tests use a small recursive-descent JSON parser (shared
+// with the telemetry suites via obs_test_util.hpp) instead of string
+// matching, so structural regressions (unbalanced events, broken
 // escaping, duplicate series) fail loudly rather than fuzzily.
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -20,261 +20,22 @@
 #include <vector>
 
 #include "core/windowed.hpp"
+#include "obs/build_info.hpp"
 #include "obs/exporters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/model_health.hpp"
 #include "obs/trace_span.hpp"
+#include "obs_test_util.hpp"
 #include "trace/generator.hpp"
 
 namespace {
 
 using namespace lfo;
-
-// ------------------------------------------------------ mini JSON parser
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : members) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  /// Parses one complete JSON value; fails the surrounding test (via
-  /// ADD_FAILURE) and returns nullopt on any syntax error or trailing
-  /// garbage.
-  std::optional<JsonValue> parse() {
-    JsonValue v;
-    if (!parse_value(v)) return std::nullopt;
-    skip_ws();
-    if (pos_ != text_.size()) {
-      ADD_FAILURE() << "trailing characters after JSON value at byte "
-                    << pos_;
-      return std::nullopt;
-    }
-    return v;
-  }
-
- private:
-  bool fail(const std::string& what) {
-    ADD_FAILURE() << "JSON parse error at byte " << pos_ << ": " << what;
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      return fail(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-    return true;
-  }
-
-  bool parse_value(JsonValue& out) {
-    skip_ws();
-    if (pos_ >= text_.size()) return fail("unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') return parse_object(out);
-    if (c == '[') return parse_array(out);
-    if (c == '"') {
-      out.kind = JsonValue::Kind::kString;
-      return parse_string(out.text);
-    }
-    if (text_.compare(pos_, 4, "true") == 0) {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = true;
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      out.kind = JsonValue::Kind::kBool;
-      pos_ += 5;
-      return true;
-    }
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return true;
-    }
-    return parse_number(out);
-  }
-
-  bool parse_object(JsonValue& out) {
-    out.kind = JsonValue::Kind::kObject;
-    if (!consume('{')) return false;
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      std::string key;
-      skip_ws();
-      if (!parse_string(key)) return false;
-      if (!consume(':')) return false;
-      JsonValue value;
-      if (!parse_value(value)) return false;
-      out.members.emplace_back(std::move(key), std::move(value));
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or '}'");
-    }
-  }
-
-  bool parse_array(JsonValue& out) {
-    out.kind = JsonValue::Kind::kArray;
-    if (!consume('[')) return false;
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      JsonValue value;
-      if (!parse_value(value)) return false;
-      out.items.push_back(std::move(value));
-      skip_ws();
-      if (pos_ >= text_.size()) return fail("unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or ']'");
-    }
-  }
-
-  bool parse_string(std::string& out) {
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      return fail("expected string");
-    }
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      if (c == '\\') {
-        if (pos_ + 1 >= text_.size()) return fail("dangling escape");
-        const char esc = text_[pos_ + 1];
-        switch (esc) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          case 'n': out.push_back('\n'); break;
-          case 'r': out.push_back('\r'); break;
-          case 't': out.push_back('\t'); break;
-          case 'u': {
-            if (pos_ + 5 >= text_.size()) return fail("short \\u escape");
-            for (int i = 0; i < 4; ++i) {
-              if (!std::isxdigit(static_cast<unsigned char>(
-                      text_[pos_ + 2 + static_cast<std::size_t>(i)]))) {
-                return fail("bad \\u escape");
-              }
-            }
-            out.push_back('?');  // code point itself is irrelevant here
-            pos_ += 4;
-            break;
-          }
-          default: return fail("unknown escape");
-        }
-        pos_ += 2;
-        continue;
-      }
-      if (static_cast<unsigned char>(c) < 0x20) {
-        return fail("unescaped control character");
-      }
-      out.push_back(c);
-      ++pos_;
-    }
-    return fail("unterminated string");
-  }
-
-  bool parse_number(JsonValue& out) {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return fail("expected a value");
-    out.kind = JsonValue::Kind::kNumber;
-    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
-                             nullptr);
-    return true;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-// ----------------------------------------------------- pipeline fixtures
-
-/// The golden-suite web scenario (stationary) and flash-crowd scenario
-/// (drifting), at the golden suite's exact generator settings, so the
-/// drift-warning assertions below are tied to the same locked traces.
-trace::Trace golden_trace(const std::string& name) {
-  trace::GeneratorConfig gen;
-  gen.num_requests = 20000;
-  if (name == "web") {
-    gen.seed = 101;
-    gen.classes = {trace::web_class(4000)};
-  } else {
-    gen.seed = 303;
-    gen.classes = {trace::web_class(3000)};
-    gen.drift.reshuffle_interval = 5000;
-    gen.drift.reshuffle_fraction = 0.3;
-    gen.drift.flash_crowd_probability = 1.0;
-    gen.drift.flash_crowd_share = 0.3;
-    gen.drift.flash_crowd_duration = 3000;
-  }
-  return trace::generate_trace(gen);
-}
-
-core::WindowedConfig golden_lfo_config() {
-  core::WindowedConfig config;
-  config.lfo.set_cache_size(32ULL << 20);
-  config.lfo.features.num_gaps = 20;
-  config.lfo.gbdt.num_iterations = 15;
-  config.window_size = 5000;
-  config.swap_lag = 1;
-  return config;
-}
+using testutil::JsonParser;
+using testutil::JsonValue;
+using testutil::golden_lfo_config;
+using testutil::golden_trace;
+using testutil::validate_prometheus_text;
 
 // ---------------------------------------------------------- metrics core
 
@@ -366,53 +127,44 @@ TEST(Exporters, PrometheusTextParsesWithoutDuplicateSeries) {
 
   std::ostringstream os;
   obs::write_prometheus_text(os);
-  std::istringstream is(os.str());
-
-  std::set<std::string> series;       // plain name+labels lines
-  std::set<std::string> type_decls;   // # TYPE lines
-  std::map<std::string, std::uint64_t> last_bucket_cum;
-  std::string line;
-  while (std::getline(is, line)) {
-    ASSERT_FALSE(line.empty()) << "blank line in exposition";
-    if (line.rfind("# TYPE ", 0) == 0) {
-      std::istringstream ls(line.substr(7));
-      std::string name, kind;
-      ls >> name >> kind;
-      EXPECT_TRUE(kind == "counter" || kind == "gauge" ||
-                  kind == "histogram")
-          << line;
-      EXPECT_TRUE(type_decls.insert(name).second)
-          << "duplicate TYPE declaration: " << name;
-      continue;
-    }
-    ASSERT_NE(line[0], '#') << "unexpected comment: " << line;
-    const auto space = line.rfind(' ');
-    ASSERT_NE(space, std::string::npos) << line;
-    const std::string key = line.substr(0, space);
-    const std::string value = line.substr(space + 1);
-    EXPECT_TRUE(series.insert(key).second) << "duplicate series: " << key;
-    char* end = nullptr;
-    std::strtod(value.c_str(), &end);
-    EXPECT_EQ(*end, '\0') << "unparsable sample value: " << line;
-
-    // Histogram buckets must be cumulative (non-decreasing in le order,
-    // which is the emit order).
-    const auto brace = key.find("_bucket{");
-    if (brace != std::string::npos) {
-      const std::string base = key.substr(0, brace);
-      const auto cum = static_cast<std::uint64_t>(
-          std::strtod(value.c_str(), nullptr));
-      const auto it = last_bucket_cum.find(base);
-      if (it != last_bucket_cum.end()) {
-        EXPECT_GE(cum, it->second) << "non-cumulative buckets: " << key;
-      }
-      last_bucket_cum[base] = cum;
-    }
-  }
+  const auto series = validate_prometheus_text(os.str());
   EXPECT_TRUE(series.contains("test_prom_counter"));
   EXPECT_TRUE(series.contains("test_prom_gauge"));
   EXPECT_TRUE(series.contains("test_prom_hist_count"));
   EXPECT_TRUE(series.contains("test_prom_hist_bucket{le=\"+Inf\"}"));
+  // The exposition self-identifies the build that produced it.
+  bool has_build_info = false;
+  for (const auto& key : series) {
+    has_build_info |= key.rfind("lfo_build_info{", 0) == 0;
+  }
+  EXPECT_TRUE(has_build_info);
+}
+
+TEST(Exporters, BuildInfoIsLabeledAndNonEmpty) {
+  const auto& info = obs::build_info();
+  EXPECT_FALSE(info.revision.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.build_type.empty());
+
+  std::ostringstream os;
+  obs::write_prometheus_text(os);
+  const std::string text = os.str();
+  const std::string expected =
+      "lfo_build_info{revision=\"" + info.revision + "\"";
+  EXPECT_NE(text.find(expected), std::string::npos)
+      << "lfo_build_info series missing or mislabeled";
+
+  std::ostringstream js;
+  obs::write_jsonl_snapshot(js, "build-info-test");
+  const std::string line = js.str();
+  const auto doc =
+      testutil::JsonParser(line.substr(0, line.size() - 1)).parse();
+  ASSERT_TRUE(doc.has_value());
+  const auto* build = doc->find("build_info");
+  ASSERT_NE(build, nullptr);
+  const auto* revision = build->find("revision");
+  ASSERT_NE(revision, nullptr);
+  EXPECT_EQ(revision->text, info.revision);
 }
 
 TEST(Exporters, JsonlSnapshotIsValidSingleLineJson) {

@@ -23,7 +23,14 @@ check-effect LFO_CHECK / LFO_DCHECK argument expressions must be free
 metric-name  Metric names must follow the obs conventions: counters
              end in ``_total``, histograms/timers end in ``_seconds``,
              gauges carry neither suffix, and everything starts with
-             ``lfo_``.
+             ``lfo_``.  Also covers endpoint metric tables — brace
+             entries pairing a ``"/path"`` literal with a counter name
+             (the ``kEndpointRequestCounters`` form in the telemetry
+             server).
+endpoint     Functions tagged ``LFO_ENDPOINT_HANDLER`` parse untrusted
+             bytes off a socket: malformed input must map to a 4xx
+             response, never to a process abort, so no ``LFO_CHECK`` /
+             ``LFO_DCHECK`` inside the tagged body.
 
 Suppressions
 ------------
@@ -91,6 +98,10 @@ METRIC_FORMS = [
     (re.compile(r"[.>]\s*histogram\s*\(\s*\"([^\"]*)\""), "histogram"),
     (re.compile(r"\bLFO_GAUGE_SET\s*\(\s*\"([^\"]*)\""), "gauge"),
     (re.compile(r"[.>]\s*gauge\s*\(\s*\"([^\"]*)\""), "gauge"),
+    # Endpoint metric tables: {"/path", "lfo_..._total"} entries pairing a
+    # URL path with the per-endpoint request counter it feeds (the
+    # kEndpointRequestCounters form in src/obs/telemetry_server.cpp).
+    (re.compile(r"\{\s*\"/[^\"]*\"\s*,\s*\"([^\"]*)\"\s*\}"), "counter"),
 ]
 
 METRIC_NAME_RE = re.compile(r"lfo_[a-z0-9_]+$")
@@ -206,11 +217,16 @@ def report(out: list[Violation], src: SourceFile, line_idx: int, rule: str,
         out.append(Violation(src.path, line_idx + 1, rule, message))
 
 
-# ---------------------------------------------------------------- hotpath
+# ---------------------------------------------------- tagged-body walker
 
 
-def hot_path_bodies(src: SourceFile):
-    """Yield (start_idx, end_idx) line ranges of LFO_HOT_PATH bodies."""
+def tagged_bodies(src: SourceFile, tag: str):
+    """Yield (start_idx, end_idx) line ranges of ``tag``-marked bodies.
+
+    ``tag`` is a function-tag macro (LFO_HOT_PATH, LFO_ENDPOINT_HANDLER):
+    the body is the brace block of the first '{' at paren depth 0 after
+    the tag, skipping the parameter list.
+    """
     text = "\n".join(src.code)
     offsets = [0]
     for line in src.code:
@@ -226,7 +242,7 @@ def hot_path_bodies(src: SourceFile):
                 hi = mid
         return lo
 
-    for m in re.finditer(r"\bLFO_HOT_PATH\b", text):
+    for m in re.finditer(r"\b" + re.escape(tag) + r"\b", text):
         # Walk to the function's opening brace: the first '{' at paren
         # depth 0 after the tag (skips the parameter list).
         i, depth = m.end(), 0
@@ -260,12 +276,32 @@ def hot_path_bodies(src: SourceFile):
 
 
 def check_hotpath(src: SourceFile, out: list[Violation]) -> None:
-    for start, end in hot_path_bodies(src):
+    for start, end in tagged_bodies(src, "LFO_HOT_PATH"):
         for idx in range(start, end + 1):
             for pattern, what in HOTPATH_BANNED:
                 if pattern.search(src.code[idx]):
                     report(out, src, idx, "hotpath",
                            f"{what} in LFO_HOT_PATH function")
+
+
+# --------------------------------------------------------------- endpoint
+
+
+def check_endpoint(src: SourceFile, out: list[Violation]) -> None:
+    """No aborting checks in HTTP endpoint handlers.
+
+    LFO_ENDPOINT_HANDLER bodies parse untrusted request bytes; the
+    contract (see src/obs/telemetry_server.hpp) is that malformed input
+    yields a 4xx response, so an LFO_CHECK / LFO_DCHECK reachable from
+    request data turns a bad curl into a cache-node abort.
+    """
+    for start, end in tagged_bodies(src, "LFO_ENDPOINT_HANDLER"):
+        for idx in range(start, end + 1):
+            for m in CHECK_MACRO_RE.finditer(src.code[idx]):
+                report(out, src, idx, "endpoint",
+                       f"{m.group(0).rstrip('(').strip()} inside an "
+                       "LFO_ENDPOINT_HANDLER body (malformed requests "
+                       "must get a 4xx, not abort the process)")
 
 
 # ----------------------------------------------------------------- nondet
@@ -433,6 +469,7 @@ def main(argv: list[str]) -> int:
     for path in files:
         src = load_source(path)
         check_hotpath(src, violations)
+        check_endpoint(src, violations)
         check_nondet(src, args.root, violations)
         check_side_effects(src, violations)
         check_metric_names(src, violations)

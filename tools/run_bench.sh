@@ -49,3 +49,31 @@ printf '\n=== bench: %s (json -> %s) ===\n' "$BENCH_NAME" "$JSON_OUT"
 
 printf '\n=== %s ===\n' "$JSON_OUT"
 cat "$JSON_OUT"
+
+# Append this run to the bench history ledger. Revision and timestamp are
+# stamped here in the shell — the bench binaries stay wall-clock-free so
+# their output is a pure function of the workload. tools/bench_diff.py
+# then compares against the previous run of the same bench and fails on a
+# >10% throughput regression (advisory here: a first run has no baseline).
+HISTORY_OUT="${BENCH_HISTORY:-BENCH_history.jsonl}"
+REVISION="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+DATE_ISO="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+python3 - "$JSON_OUT" "$HISTORY_OUT" "$REVISION" "$DATE_ISO" <<'PYEOF'
+import json, sys
+json_out, history_out, revision, date_iso = sys.argv[1:5]
+with open(json_out) as f:
+    result = json.load(f)
+entry = {"revision": revision, "date": date_iso,
+         "bench": json_out, "result": result}
+with open(history_out, "a") as f:
+    f.write(json.dumps(entry, sort_keys=True) + "\n")
+print(f"# appended {json_out} @ {revision} to {history_out}")
+PYEOF
+
+printf '\n=== bench history diff (%s) ===\n' "$HISTORY_OUT"
+# Advisory at the end of a manual run (single-run noise on a busy box can
+# cross the 10% line); invoke tools/bench_diff.py directly when you want
+# its nonzero exit to gate.
+python3 tools/bench_diff.py --history "$HISTORY_OUT" --bench "$JSON_OUT" \
+  || echo "# bench_diff flagged a regression vs the previous run" \
+          "(advisory here; rerun or diff against a quiet baseline)"

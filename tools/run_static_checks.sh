@@ -14,7 +14,9 @@
 #   3. obs gate: build with -DLFO_METRICS=ON and =OFF, run tier1 under
 #      both, and diff the golden-trace decision counts across the two
 #      builds — instrumentation must be provably decision-neutral even
-#      when compiled out.
+#      when compiled out. Then tools/obs_smoke.sh drives the live
+#      telemetry endpoints (/metrics, /stats, /healthz, /vars, malformed
+#      requests) against the example binary from outside the process.
 #   4. fault gate: Release build, then `ctest -L faults` — the rollout
 #      guard under injected training failures on the golden flash-crowd
 #      generator (fallback + recovery, BHR >= heuristic-only baseline,
@@ -35,8 +37,9 @@
 #      when clang++ is not installed).
 #   8. lfo_lint: tools/lfo_lint.py invariant rules (hot-path allocation
 #      and locking, nondeterminism in decision code, side effects in
-#      LFO_CHECK arguments, obs metric-name conventions) over src/, plus
-#      its fixture self-test.
+#      LFO_CHECK arguments, obs metric-name conventions, no aborting
+#      checks in LFO_ENDPOINT_HANDLER bodies) over src/, plus its
+#      fixture self-test.
 #
 # Exits non-zero on the first failing stage.
 #
@@ -116,6 +119,10 @@ if [[ "$SKIP_OBS" -eq 0 ]]; then
       || { echo "obs gate: instrumentation changed golden decisions" >&2
            exit 1; }
   echo "obs gate: golden decision counts identical across ON/OFF"
+
+  banner "obs: live telemetry endpoint smoke (tools/obs_smoke.sh)"
+  cmake --build build-obs-on --target cdn_server_simulation -j "$JOBS"
+  tools/obs_smoke.sh ./build-obs-on/examples/cdn_server_simulation
 fi
 
 if [[ "$SKIP_FAULTS" -eq 0 ]]; then
