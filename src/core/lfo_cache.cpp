@@ -59,7 +59,7 @@ LFO_HOT_PATH double LfoCache::predict(const trace::Request& request) {
   // With rescore_on_swap the row is extracted even during bootstrap so
   // the entry's stored feature row is always current.
   extractor_.extract(request, clock(), free_bytes(), row_buffer_, scratch_);
-  return model_ ? model_->predict(row_buffer_) : 0.5;
+  return model_ ? model_->predict(row_buffer_, scratch_) : 0.5;
 }
 
 LFO_HOT_PATH void LfoCache::remember_row(trace::ObjectId object) {

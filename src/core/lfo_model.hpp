@@ -11,6 +11,7 @@
 #include "features/features.hpp"
 #include "gbdt/flat_forest.hpp"
 #include "gbdt/gbdt.hpp"
+#include "gbdt/quantized_forest.hpp"
 #include "obs/model_health.hpp"
 #include "opt/opt.hpp"
 #include "trace/trace.hpp"
@@ -44,11 +45,15 @@ struct LfoConfig {
 class LfoModel {
  public:
   /// Which inference kernel serves predictions. kFlatForest (default) is
-  /// the compiled contiguous engine; kTreeWalk is the reference per-tree
-  /// walk over gbdt::Model. Both produce bitwise-identical scores — the
-  /// toggle exists so tests and bench_fig7_throughput can diff/compare
-  /// the engines.
-  enum class Engine { kFlatForest, kTreeWalk };
+  /// the compiled contiguous engine and kTreeWalk the reference per-tree
+  /// walk over gbdt::Model — both bitwise identical by construction.
+  /// kFlatQuantized serves from histogram-bin-quantized rows with SIMD
+  /// lane groups (gbdt::QuantizedForest); its contract only promises
+  /// identical *decisions* (scores may differ in ulps, see DESIGN.md),
+  /// though the current implementation reproduces the reference bitwise
+  /// too. The toggle exists so tests and bench_fig7_throughput can
+  /// diff/compare the engines.
+  enum class Engine { kFlatForest, kTreeWalk, kFlatQuantized };
 
   LfoModel(gbdt::Model model, features::FeatureConfig config);
 
@@ -61,6 +66,11 @@ class LfoModel {
 
   /// Probability that OPT would cache this feature vector.
   double predict(std::span<const float> feature_row) const;
+  /// Allocation-free variant: the quantized engine bins the row into
+  /// `scratch.quantized` (grow-once, caller-owned — LfoCache passes its
+  /// per-instance FeatureScratch). Other engines ignore the scratch.
+  double predict(std::span<const float> feature_row,
+                 features::FeatureScratch& scratch) const;
 
   /// Batched prediction over a row-major matrix whose rows have
   /// dimension() columns. Bitwise identical to row-by-row predict();
@@ -73,9 +83,10 @@ class LfoModel {
                      std::span<double> out) const;
 
   const gbdt::Model& booster() const { return model_; }
-  /// The compiled serving engine (built once at construction, i.e. at
+  /// The compiled serving engines (built once at construction, i.e. at
   /// model-swap time in the windowed pipeline).
   const gbdt::FlatForest& forest() const { return forest_; }
+  const gbdt::QuantizedForest& quantized() const { return quantized_; }
   const features::FeatureConfig& feature_config() const { return config_; }
   std::size_t dimension() const { return config_.dimension(); }
 
@@ -98,6 +109,7 @@ class LfoModel {
   gbdt::Model model_;
   gbdt::FlatForest forest_;
   features::FeatureConfig config_;
+  gbdt::QuantizedForest quantized_;  // after config_: compile needs dimension()
   Engine engine_;
 };
 

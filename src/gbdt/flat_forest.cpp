@@ -97,22 +97,65 @@ std::int32_t FlatForest::max_depth() const {
   return deepest;
 }
 
+std::size_t FlatForest::total_levels() const {
+  std::size_t sum = 0;
+  for (const auto d : depths_) sum += static_cast<std::size_t>(d);
+  return sum;
+}
+
 LFO_HOT_PATH double FlatForest::predict_raw(std::span<const float> features) const {
   double score = base_score_;
   const Node* const nodes = nodes_.data();
+  const std::int32_t* const depths = depths_.data();
   const float* const row = features.data();
-  for (std::size_t t = 0; t < roots_.size(); ++t) {
+  const std::size_t num_trees = roots_.size();
+  std::size_t t = 0;
+  // Four independent tree chains per iteration: a single chain serializes
+  // every step behind the previous node load (and a converged-yet check
+  // costs one extra trip round the self-loop), which is how the flat walk
+  // once lost to the pointer-chasing tree walk. Four chains overlap those
+  // load latencies; depth-bounded stepping needs no convergence test, and
+  // leaf self-loops make the extra iterations of shallower trees
+  // harmless. Values still accumulate in tree order (base + t0 + t1 +
+  // ...), so scores stay bitwise identical to Model::predict_raw.
+  for (; t + 4 <= num_trees; t += 4) {
+    std::int32_t u0 = roots_[t];
+    std::int32_t u1 = roots_[t + 1];
+    std::int32_t u2 = roots_[t + 2];
+    std::int32_t u3 = roots_[t + 3];
+    const std::int32_t dmax =
+        std::max(std::max(depths[t], depths[t + 1]),
+                 std::max(depths[t + 2], depths[t + 3]));
+    for (std::int32_t d = dmax; d > 0; --d) {
+      const Node n0 = nodes[u0];
+      const Node n1 = nodes[u1];
+      const Node n2 = nodes[u2];
+      const Node n3 = nodes[u3];
+      u0 = n0.left + static_cast<std::int32_t>(
+                         !(row[static_cast<std::size_t>(n0.feature)] <=
+                           n0.threshold));
+      u1 = n1.left + static_cast<std::int32_t>(
+                         !(row[static_cast<std::size_t>(n1.feature)] <=
+                           n1.threshold));
+      u2 = n2.left + static_cast<std::int32_t>(
+                         !(row[static_cast<std::size_t>(n2.feature)] <=
+                           n2.threshold));
+      u3 = n3.left + static_cast<std::int32_t>(
+                         !(row[static_cast<std::size_t>(n3.feature)] <=
+                           n3.threshold));
+    }
+    score += values_[static_cast<std::size_t>(u0)];
+    score += values_[static_cast<std::size_t>(u1)];
+    score += values_[static_cast<std::size_t>(u2)];
+    score += values_[static_cast<std::size_t>(u3)];
+  }
+  for (; t < num_trees; ++t) {
     std::int32_t u = roots_[t];
-    // Leaves self-loop, so the walk has converged once a step no longer
-    // moves the cursor; sibling adjacency makes the step branch-free.
-    for (;;) {
+    for (std::int32_t d = depths[t]; d > 0; --d) {
       const Node n = nodes[u];
-      const std::int32_t next =
-          n.left + static_cast<std::int32_t>(
+      u = n.left + static_cast<std::int32_t>(
                        !(row[static_cast<std::size_t>(n.feature)] <=
                          n.threshold));
-      if (next == u) break;
-      u = next;
     }
     score += values_[static_cast<std::size_t>(u)];
   }

@@ -47,6 +47,9 @@ class FlatForest {
   double base_score() const { return base_score_; }
   /// Deepest level of any tree (0 for stump-only forests).
   std::int32_t max_depth() const;
+  /// Sum of per-tree depths: node visits per fully-traversed row (for
+  /// the bench_micro bytes-touched/row roofline accounting).
+  std::size_t total_levels() const;
 
   /// Raw additive score (log-odds) of one sample.
   double predict_raw(std::span<const float> features) const;

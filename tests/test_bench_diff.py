@@ -124,6 +124,32 @@ class BenchDiffTest(unittest.TestCase):
                         cwd=self.dir)
         self.assertEqual(proc.returncode, 1, proc.stdout)
 
+    def test_require_keys_present_passes(self):
+        self.write_history([
+            history_entry("aaa", 1.0e6),
+            history_entry("bbb", 1.0e6, extra={
+                "flat_quantized_batch_preds_per_sec": 5.0e6}),
+        ])
+        proc = run_diff("--require-keys",
+                        "flat_quantized_batch_preds_per_sec", cwd=self.dir)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_require_keys_missing_fails(self):
+        # A run that silently stops emitting a required engine metric must
+        # fail loudly instead of the key just dropping out of the shared
+        # intersection.
+        self.write_history([
+            history_entry("aaa", 1.0e6, extra={
+                "flat_quantized_batch_preds_per_sec": 5.0e6}),
+            history_entry("bbb", 1.0e6),
+        ])
+        proc = run_diff("--require-keys",
+                        "flat_quantized_batch_preds_per_sec,"
+                        "flat_quantized_scalar_preds_per_sec",
+                        cwd=self.dir)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("missing required metric", proc.stderr)
+
     def test_disjoint_metrics_are_an_error(self):
         base = self.dir / "old.json"
         cand = self.dir / "new.json"

@@ -15,7 +15,15 @@ path down" gate.
 Usage:
     tools/bench_diff.py [--history BENCH_history.jsonl]
                         [--threshold 0.10] [--bench NAME]
+                        [--require-keys a,b,...]
     tools/bench_diff.py --baseline old.json --candidate new.json
+
+--require-keys names metrics the CANDIDATE must carry (comma-separated,
+matched against the flattened dotted paths' leaf names). A schema
+extension — e.g. the flat_quantized_* engine columns — can thereby be
+made mandatory going forward: the diff fails loudly when a new run
+silently stops emitting one instead of the key just vanishing from the
+shared-metric intersection.
 
 Throughput metrics are keys ending in `_per_sec` / `_qps` or containing
 `throughput` (higher is better). Latency-style keys (`_ns`, `_seconds`,
@@ -79,9 +87,25 @@ def load_history(path: Path, bench: str | None):
     return entries
 
 
-def diff(baseline: dict, candidate: dict, threshold: float) -> int:
+def missing_required(candidate_flat: dict, require_keys: list[str]):
+    """Required keys with no flattened candidate leaf of that name."""
+    leaves = {key.rsplit(".", 1)[-1] for key in candidate_flat}
+    return [key for key in require_keys if key not in leaves]
+
+
+def diff(baseline: dict, candidate: dict, threshold: float,
+         require_keys: list[str] | None = None) -> int:
     base = {k: v for k, v in flatten(baseline).items() if numeric(v)}
     cand = {k: v for k, v in flatten(candidate).items() if numeric(v)}
+    if require_keys:
+        missing = missing_required(cand, require_keys)
+        if missing:
+            print(
+                "FAIL: candidate is missing required metric(s): "
+                + ", ".join(missing),
+                file=sys.stderr,
+            )
+            return 1
     shared = sorted(set(base) & set(cand))
     if not shared:
         print("error: no shared numeric metrics to compare",
@@ -140,7 +164,12 @@ def main() -> int:
     parser.add_argument("--candidate", default=None,
                         help="explicit candidate JSON file (bypasses "
                              "--history)")
+    parser.add_argument("--require-keys", default=None,
+                        help="comma-separated metric leaf names the "
+                             "candidate must emit (fail if missing)")
     args = parser.parse_args()
+    require_keys = [k.strip() for k in (args.require_keys or "").split(",")
+                    if k.strip()]
 
     if (args.baseline is None) != (args.candidate is None):
         parser.error("--baseline and --candidate must be given together")
@@ -169,7 +198,7 @@ def main() -> int:
 
     print(f"baseline:  {label_old}")
     print(f"candidate: {label_new}\n")
-    return diff(baseline, candidate, args.threshold)
+    return diff(baseline, candidate, args.threshold, require_keys)
 
 
 if __name__ == "__main__":

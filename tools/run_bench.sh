@@ -26,6 +26,13 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 TARGET="bench_fig7_throughput"
 JSON_OUT="BENCH_fig7.json"
 BENCH_NAME="fig7 throughput"
+# Engine columns every fig7 run must emit from now on: bench_diff fails
+# loudly if a run silently stops reporting one (e.g. the quantized engine
+# getting compiled out) instead of the key just vanishing from the diff.
+REQUIRE_KEYS="flat_batch_preds_per_sec,flat_single_preds_per_sec"
+REQUIRE_KEYS+=",flat_quantized_batch_preds_per_sec"
+REQUIRE_KEYS+=",flat_quantized_single_preds_per_sec"
+REQUIRE_KEYS+=",flat_quantized_scalar_preds_per_sec"
 EXTRA_ARGS=()
 for arg in "$@"; do
   case "$arg" in
@@ -33,6 +40,7 @@ for arg in "$@"; do
       TARGET="bench_scenarios"
       JSON_OUT="BENCH_scenarios.json"
       BENCH_NAME="adversarial scenarios"
+      REQUIRE_KEYS=""
       ;;
     --json=*) JSON_OUT="${arg#--json=}" ;;
     *) EXTRA_ARGS+=("$arg") ;;
@@ -49,6 +57,24 @@ printf '\n=== bench: %s (json -> %s) ===\n' "$BENCH_NAME" "$JSON_OUT"
 
 printf '\n=== %s ===\n' "$JSON_OUT"
 cat "$JSON_OUT"
+
+if [[ "$TARGET" == "bench_fig7_throughput" ]]; then
+  printf '\n=== per-engine summary (%s) ===\n' "$JSON_OUT"
+  python3 - "$JSON_OUT" <<'PYEOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+walk = d.get("tree_walk_preds_per_sec") or 0
+print(f"{'engine':<28} {'M preds/s':>10} {'ns/pred':>9} {'vs walk':>8}")
+for key in sorted(k for k in d if k.endswith("_preds_per_sec")):
+    pps = d[key]
+    name = key[: -len("_preds_per_sec")]
+    rel = f"{pps / walk:.2f}x" if walk else "n/a"
+    print(f"{name:<28} {pps / 1e6:>10.2f} {1e9 / pps:>9.0f} {rel:>8}")
+print(f"simd_kernel={d.get('simd_kernel', '?')}  "
+      f"same_decisions={d.get('engines_same_decisions')}  "
+      f"quantized_same_decisions={d.get('quantized_same_decisions')}")
+PYEOF
+fi
 
 # Append this run to the bench history ledger. Revision and timestamp are
 # stamped here in the shell — the bench binaries stay wall-clock-free so
@@ -75,5 +101,6 @@ printf '\n=== bench history diff (%s) ===\n' "$HISTORY_OUT"
 # cross the 10% line); invoke tools/bench_diff.py directly when you want
 # its nonzero exit to gate.
 python3 tools/bench_diff.py --history "$HISTORY_OUT" --bench "$JSON_OUT" \
+  ${REQUIRE_KEYS:+--require-keys "$REQUIRE_KEYS"} \
   || echo "# bench_diff flagged a regression vs the previous run" \
           "(advisory here; rerun or diff against a quiet baseline)"
