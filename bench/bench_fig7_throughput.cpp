@@ -34,21 +34,32 @@ using namespace lfo;
 
 namespace {
 
-/// Run `rows` predictions split across `threads` workers; returns seconds.
+/// Run `rows` predictions split across `threads` workers; returns
+/// seconds. Each worker owns a contiguous block of rows and drives it
+/// through the allocation-free predict_batch — the engine actually
+/// deployed on the serving path (quantized lane-group kernel under
+/// kFlatQuantized) — not strided single-row predict() calls, so the
+/// thread-scaling curve measures the batch kernel the server runs.
 double timed_predict(const core::LfoModel& model,
-                     const gbdt::Dataset& dataset, unsigned threads,
+                     std::span<const float> matrix, std::size_t dim,
+                     std::size_t rows, unsigned threads,
                      std::uint64_t repeats) {
   std::atomic<double> sink{0.0};  // defeats dead-code elimination
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(threads);
+  const std::size_t per_worker = (rows + threads - 1) / threads;
   for (unsigned w = 0; w < threads; ++w) {
     workers.emplace_back([&, w] {
+      const std::size_t begin = std::min(rows, w * per_worker);
+      const std::size_t end = std::min(rows, begin + per_worker);
+      if (begin == end) return;
+      const auto block = matrix.subspan(begin * dim, (end - begin) * dim);
+      std::vector<double> out(end - begin);
       double local = 0.0;
       for (std::uint64_t rep = 0; rep < repeats; ++rep) {
-        for (std::size_t i = w; i < dataset.num_rows(); i += threads) {
-          local += model.predict(dataset.row(i));
-        }
+        model.predict_batch(block, out);
+        for (const double p : out) local += p;
       }
       sink.fetch_add(local);
     });
@@ -115,15 +126,29 @@ int main(int argc, char** argv) {
   const auto hw = std::max(1u, std::thread::hardware_concurrency());
   std::cout << "# hardware_concurrency=" << hw << '\n';
 
+  // Row-major copy of the workload: the thread sweep hands each worker
+  // a contiguous block of it and the engine comparison below reuses it.
+  const std::size_t dim = trained.model->dimension();
+  const std::size_t rows = dataset.num_rows();
+  std::vector<float> matrix(rows * dim);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto row = dataset.row(i);
+    std::copy(row.begin(), row.end(),
+              matrix.begin() + static_cast<std::ptrdiff_t>(i * dim));
+  }
+
+  // Thread sweep through the deployed batch engine. The server-level
+  // equivalent of this curve — full request path, sockets and shard
+  // locks included — is bench_server's BENCH_server.json.
   util::CsvWriter csv(std::cout);
   csv.header({"threads", "million_reqs_per_sec", "per_thread_mreqs"});
   double single_thread = 0.0;
   for (unsigned threads = 1; threads <= args.get_u64("max-threads");
        threads *= 2) {
-    const double secs = timed_predict(*trained.model, dataset, threads,
-                                      repeats);
-    const double total = static_cast<double>(dataset.num_rows()) *
-                         static_cast<double>(repeats);
+    const double secs =
+        timed_predict(*trained.model, matrix, dim, rows, threads, repeats);
+    const double total =
+        static_cast<double>(rows) * static_cast<double>(repeats);
     const double mrps = total / secs / 1e6;
     if (threads == 1) single_thread = mrps;
     csv.field(threads).field(mrps).field(mrps / threads).end_row();
@@ -137,14 +162,6 @@ int main(int argc, char** argv) {
   // probabilities, and the quantized engine identical *decisions* at the
   // admission cutoff (its contract — in practice it is bitwise identical
   // too, and the forced-scalar kernel must match the SIMD kernel bitwise).
-  const std::size_t dim = trained.model->dimension();
-  const std::size_t rows = dataset.num_rows();
-  std::vector<float> matrix(rows * dim);
-  for (std::size_t i = 0; i < rows; ++i) {
-    const auto row = dataset.row(i);
-    std::copy(row.begin(), row.end(),
-              matrix.begin() + static_cast<std::ptrdiff_t>(i * dim));
-  }
   const auto& booster = trained.model->booster();
   const auto& forest = trained.model->forest();
   const auto& quantized = trained.model->quantized();

@@ -178,6 +178,12 @@ bool TelemetryServer::start() {
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
   stop_.store(false, std::memory_order_release);
+  const std::uint32_t handlers =
+      config_.handler_threads > 0 ? config_.handler_threads : 1;
+  handler_threads_.reserve(handlers);
+  for (std::uint32_t i = 0; i < handlers; ++i) {
+    handler_threads_.emplace_back([this] { handler_loop(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
   return true;
 }
@@ -185,7 +191,20 @@ bool TelemetryServer::start() {
 void TelemetryServer::stop() {
   if (listen_fd_ < 0) return;
   stop_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& handler : handler_threads_) {
+    if (handler.joinable()) handler.join();
+  }
+  handler_threads_.clear();
+  {
+    // Connections accepted but never picked up: close without serving.
+    util::MutexLock lock(queue_mu_);
+    while (!pending_.empty()) {
+      ::close(pending_.front());
+      pending_.pop_front();
+    }
+  }
   ::close(listen_fd_);
   listen_fd_ = -1;
   port_ = 0;
@@ -200,6 +219,36 @@ void TelemetryServer::accept_loop() {
     if (ready <= 0) continue;  // timeout or EINTR: re-check stop flag
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
+    bool shed = false;
+    {
+      util::MutexLock lock(queue_mu_);
+      if (pending_.size() >= config_.max_pending_connections) {
+        shed = true;  // every handler busy and the backlog full
+      } else {
+        pending_.push_back(client);
+      }
+    }
+    if (shed) {
+      LFO_COUNTER_INC("lfo_telemetry_shed_connections_total");
+      ::close(client);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void TelemetryServer::handler_loop() {
+  while (true) {
+    int client = -1;
+    {
+      util::MutexLock lock(queue_mu_);
+      while (pending_.empty()) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        queue_cv_.wait_for_seconds(queue_mu_, 0.1);
+      }
+      client = pending_.front();
+      pending_.pop_front();
+    }
     serve_connection(client);
     ::close(client);
   }

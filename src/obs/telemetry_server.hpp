@@ -3,14 +3,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 /// Marker consumed by tools/lfo_lint.py: the tagged function DEFINITION
 /// handles externally supplied HTTP input. lfo_lint rejects LFO_CHECK /
@@ -50,13 +53,25 @@ struct TelemetryServerConfig {
   std::size_t max_request_bytes = 8192;
   /// Per-connection socket read/write timeout.
   double io_timeout_seconds = 2.0;
+  /// Connection handler threads. Accepted sockets are handed to this
+  /// pool so one stalled scraper cannot block /healthz for everyone
+  /// (head-of-line blocking on the accept thread).
+  std::uint32_t handler_threads = 2;
+  /// Accepted-but-unserved backlog cap. Connections beyond it are
+  /// closed immediately (counted in lfo_telemetry_dropped_total)
+  /// rather than queued behind stalled peers.
+  std::size_t max_pending_connections = 16;
 };
 
 #if LFO_METRICS_ENABLED
 
 /// Dependency-free HTTP/1.1 telemetry responder over plain POSIX
-/// sockets: one accept thread, serial request handling, `Connection:
-/// close` on every response. Endpoints:
+/// sockets: one accept thread feeding a small bounded handler pool
+/// (`handler_threads`), `Connection: close` on every response. A peer
+/// that connects and then stalls occupies one handler until the io
+/// timeout; it cannot delay other scrapes — /healthz in particular
+/// stays prompt (tests/test_telemetry_server.cpp locks this down with
+/// a deliberately slow client). Endpoints:
 ///
 ///   GET /metrics            Prometheus text exposition (exporters.cpp)
 ///   GET /stats[?history=N]  JSON snapshot + last N flight frames
@@ -97,6 +112,7 @@ class TelemetryServer {
  private:
   HttpResponse handle_request(std::string_view request) const;
   void accept_loop();
+  void handler_loop();
   void serve_connection(int fd) const;
 
   TelemetryServerConfig config_;
@@ -105,6 +121,14 @@ class TelemetryServer {
   std::string last_error_;
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
+  std::vector<std::thread> handler_threads_;
+
+  /// Accepted sockets awaiting a handler. The accept thread only ever
+  /// enqueues (or sheds over the cap), so a peer that connects and then
+  /// stalls ties up at most one handler, never the accept path.
+  util::Mutex queue_mu_;
+  util::CondVar queue_cv_;
+  std::deque<int> pending_ LFO_GUARDED_BY(queue_mu_);
 };
 
 /// Minimal loopback HTTP GET for tests and the bench scraper thread:

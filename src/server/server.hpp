@@ -1,0 +1,139 @@
+#ifndef LFO_SERVER_SERVER_HPP
+#define LFO_SERVER_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry_server.hpp"
+#include "server/sharded_cache.hpp"
+#include "trace/request.hpp"
+
+namespace lfo::server {
+
+/// Wire format of the cache front end (loopback TCP, host byte order —
+/// this is an intra-host serving port like the telemetry one, not an
+/// internet-facing protocol):
+///
+///   request frame:  u32 count, then count x WireRequest (32 bytes each)
+///   response frame: u32 count, then count x u8 WireDecision
+///
+/// A frame with count == 0 or count > LfoServerConfig::max_batch is
+/// malformed: the server counts it (lfo_server_bad_frames_total) and
+/// closes the connection. Clients pipeline at batch granularity — one
+/// frame in flight per connection (closed loop).
+struct WireRequest {
+  std::uint64_t object;
+  std::uint64_t size;
+  std::uint64_t ttl;
+  double cost;
+};
+static_assert(sizeof(WireRequest) == 32, "wire layout is load-bearing");
+
+enum class WireDecision : std::uint8_t {
+  kMiss = 0,     ///< not served from cache (bypassed or admitted fresh)
+  kHit = 1,      ///< served from cache
+  kExpired = 2,  ///< found cached but stale; dropped + re-decided (a miss)
+};
+
+struct LfoServerConfig {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port.
+  std::uint16_t port = 0;
+  /// Worker threads. Each runs its own accept+serve loop on the shared
+  /// listening socket; a worker serves one connection at a time, so
+  /// `workers` is also the concurrent-connection capacity.
+  std::uint32_t workers = 4;
+  ShardedCacheConfig cache;
+  /// Per-connection socket read/write timeout; reads also poll the stop
+  /// flag at this cadence, bounding shutdown latency.
+  double io_timeout_seconds = 0.5;
+  /// Largest accepted request-frame count.
+  std::uint32_t max_batch = 1 << 16;
+  /// Mount the obs::TelemetryServer (/metrics, /stats, /healthz, ...)
+  /// next to the serving port. /healthz reports 503 while the rollout
+  /// guard is in fallback. No-op when LFO_METRICS=OFF.
+  bool telemetry = true;
+  std::uint16_t telemetry_port = 0;
+  obs::FlightRecorder* flight_recorder = nullptr;
+};
+
+/// The multithreaded cache service (ROADMAP item 1): a ShardedLfoCache
+/// behind a thread-per-worker TCP front end speaking the batch protocol
+/// above, with the telemetry endpoints mounted on a second loopback
+/// port. Decision correctness contract: with workers == 1 and
+/// num_shards == 1, replaying a trace through one connection in order
+/// yields byte-for-byte the decisions of a single-threaded LfoCache
+/// replay (tests/test_server.cpp).
+class LfoServer {
+ public:
+  explicit LfoServer(LfoServerConfig config);
+  ~LfoServer();
+
+  LfoServer(const LfoServer&) = delete;
+  LfoServer& operator=(const LfoServer&) = delete;
+
+  /// Bind + listen + start the worker pool (and telemetry, if enabled).
+  /// False (with the reason in last_error()) on socket failure.
+  bool start();
+  /// Stop accepting, join every worker, close sockets. Idempotent.
+  void stop();
+  bool running() const { return listen_fd_ >= 0; }
+
+  std::uint16_t port() const { return port_; }
+  /// 0 when telemetry is disabled, compiled out, or failed to bind.
+  std::uint16_t telemetry_port() const;
+  const std::string& last_error() const { return last_error_; }
+
+  /// The shared cache — model installs (install_candidate/swap_model)
+  /// and merged stats are safe while the server is serving.
+  ShardedLfoCache& cache() { return cache_; }
+  const ShardedLfoCache& cache() const { return cache_; }
+
+ private:
+  void worker_loop();
+  void serve_connection(int fd);
+
+  LfoServerConfig config_;
+  ShardedLfoCache cache_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string last_error_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
+};
+
+/// Minimal blocking client for the batch protocol — the unit the load
+/// generator (bench/bench_server.cpp) and the socket-level equivalence
+/// tests share, so framing bugs cannot hide in per-caller copies.
+class LfoClient {
+ public:
+  LfoClient() = default;
+  ~LfoClient();
+
+  LfoClient(const LfoClient&) = delete;
+  LfoClient& operator=(const LfoClient&) = delete;
+
+  bool connect(std::uint16_t port, double timeout_seconds = 5.0);
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one request frame for `batch` and read the decision frame
+  /// into `decisions` (resized to batch.size()). False on any socket
+  /// or framing error (connection is closed).
+  bool exchange(std::span<const trace::Request> batch,
+                std::vector<WireDecision>& decisions);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::vector<WireRequest> send_buffer_;
+};
+
+}  // namespace lfo::server
+
+#endif  // LFO_SERVER_SERVER_HPP

@@ -1,0 +1,139 @@
+#include "server/sharded_cache.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace lfo::server {
+
+namespace {
+
+/// splitmix64 finalizer: a strong deterministic mix so dense generator
+/// ids (0..N-1) spread evenly across shards instead of striping.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedLfoCache::ShardedLfoCache(ShardedCacheConfig config)
+    : config_(std::move(config)),
+      guard_(config_.rollout),
+      rollout_state_(static_cast<std::uint8_t>(core::RolloutState::kBootstrap)) {
+  LFO_CHECK(config_.num_shards > 0) << "sharded cache needs >= 1 shard";
+  LFO_CHECK(config_.capacity >= config_.num_shards)
+      << "capacity " << config_.capacity << " cannot cover "
+      << config_.num_shards << " shards";
+  const std::uint64_t per_shard = config_.capacity / config_.num_shards;
+  shards_.reserve(config_.num_shards);
+  for (std::uint32_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        per_shard, config_.features, config_.cutoff, config_.options));
+  }
+}
+
+LFO_HOT_PATH std::uint32_t ShardedLfoCache::shard_of(
+    trace::ObjectId object) const {
+  if (shards_.size() == 1) return 0;
+  return static_cast<std::uint32_t>(mix64(object) % shards_.size());
+}
+
+LFO_HOT_PATH AccessResult ShardedLfoCache::access(
+    const trace::Request& request) {
+  Shard& shard = *shards_[shard_of(request.object)];
+  // One uncontended striped lock per request is the concurrency design;
+  // the guarded LfoCache path itself stays allocation-free.
+  // lfo-lint: allow(hotpath): per-shard striped lock, no heap traffic
+  util::MutexLock lock(shard.mu);
+  const std::uint64_t expired_before = shard.cache.stats().expired_hits;
+  AccessResult result;
+  result.hit = shard.cache.access(request);
+  result.expired = shard.cache.stats().expired_hits != expired_before;
+  shard.used.store(shard.cache.used_bytes(), std::memory_order_release);
+  return result;
+}
+
+void ShardedLfoCache::swap_model(
+    std::shared_ptr<const core::LfoModel> model) {
+  // One shard at a time: a swap must not stall every serving thread at
+  // once, and per-request decisions never span shards, so a briefly
+  // mixed-model window is benign (see class comment).
+  for (auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    shard->cache.swap_model(model);
+  }
+  has_model_.store(model != nullptr, std::memory_order_release);
+}
+
+core::RolloutVerdict ShardedLfoCache::install_candidate(
+    const core::RolloutCandidate& candidate,
+    std::shared_ptr<const core::LfoModel> model) {
+  util::MutexLock lock(guard_mu_);
+  const auto verdict = guard_.evaluate(candidate);
+  if (verdict.activate && model != nullptr) {
+    swap_model(std::move(model));
+  } else if (verdict.clear_model) {
+    swap_model(nullptr);
+  }
+  rollout_state_.store(static_cast<std::uint8_t>(guard_.state()),
+                       std::memory_order_release);
+  return verdict;
+}
+
+cache::CacheStats ShardedLfoCache::stats() const {
+  cache::CacheStats merged;
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    const auto& s = shard->cache.stats();
+    merged.requests += s.requests;
+    merged.hits += s.hits;
+    merged.bytes_requested += s.bytes_requested;
+    merged.bytes_hit += s.bytes_hit;
+    merged.expired_hits += s.expired_hits;
+  }
+  return merged;
+}
+
+std::uint64_t ShardedLfoCache::bypassed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    total += shard->cache.bypassed();
+  }
+  return total;
+}
+
+std::uint64_t ShardedLfoCache::demoted_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    total += shard->cache.demoted_hits();
+  }
+  return total;
+}
+
+std::uint64_t ShardedLfoCache::used_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->used.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t ShardedLfoCache::shard_used_bytes(std::uint32_t shard) const {
+  LFO_CHECK(shard < shards_.size()) << "shard index out of range";
+  return shards_[shard]->used.load(std::memory_order_acquire);
+}
+
+void ShardedLfoCache::clear() {
+  for (auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    shard->cache.clear();
+    shard->used.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace lfo::server

@@ -150,6 +150,49 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1, proc.stdout)
         self.assertIn("missing required metric", proc.stderr)
 
+    def test_growth_from_zero_baseline_reports_without_classifying(self):
+        # A throughput metric growing from a 0 baseline has no defined
+        # relative change: it must neither print `inf` nor count as an
+        # improvement — only be reported as new-from-zero.
+        base = self.dir / "old.json"
+        cand = self.dir / "new.json"
+        base.write_text(json.dumps({"x_per_sec": 0.0, "y_per_sec": 100.0}))
+        cand.write_text(json.dumps({"x_per_sec": 500.0, "y_per_sec": 100.0}))
+        proc = run_diff("--baseline", str(base), "--candidate", str(cand),
+                        cwd=self.dir)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertNotIn("inf", proc.stdout.lower())
+        self.assertNotIn("improvement", proc.stdout)
+        self.assertIn("new from zero baseline", proc.stdout)
+
+    def test_regression_to_zero_fails(self):
+        # Collapsing to 0 is a full (-100%) regression and must gate.
+        base = self.dir / "old.json"
+        cand = self.dir / "new.json"
+        base.write_text(json.dumps({"x_per_sec": 100.0}))
+        cand.write_text(json.dumps({"x_per_sec": 0.0}))
+        proc = run_diff("--baseline", str(base), "--candidate", str(cand),
+                        cwd=self.dir)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("-100.00%", proc.stdout)
+
+    def test_nan_baseline_is_skipped_not_compared(self):
+        # json.dumps happily emits NaN; a NaN baseline must drop out of
+        # the numeric set (not crash, not gate) while finite keys still
+        # compare.
+        base = self.dir / "old.json"
+        cand = self.dir / "new.json"
+        base.write_text(json.dumps({"x_per_sec": float("nan"),
+                                    "y_per_sec": 100.0}))
+        cand.write_text(json.dumps({"x_per_sec": 100.0,
+                                    "y_per_sec": 100.0}))
+        proc = run_diff("--baseline", str(base), "--candidate", str(cand),
+                        cwd=self.dir)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertNotIn("x_per_sec", proc.stdout)
+        self.assertNotIn("nan", proc.stdout.lower())
+
     def test_disjoint_metrics_are_an_error(self):
         base = self.dir / "old.json"
         cand = self.dir / "new.json"

@@ -20,6 +20,7 @@
 #include "gbdt/flat_forest.hpp"
 #include "gbdt/gbdt.hpp"
 #include "gbdt/quantized_forest.hpp"
+#include "server/sharded_cache.hpp"
 #include "trace/request.hpp"
 
 namespace {
@@ -222,6 +223,45 @@ TEST(HotPathAlloc, LfoCacheSteadyStateAllocatesNothing) {
   expect_zero_allocations(allocations() - before,
                           "LfoCache steady-state access");
   // The replay really exercised both hot paths: hits and bypassed misses.
+  EXPECT_EQ(cache.stats().hits % 10, 0u);
+  EXPECT_GE(cache.bypassed(), 5u * 102u);
+}
+
+TEST(HotPathAlloc, ShardedCacheSteadyStateAllocatesNothing) {
+  // The server's per-request path: shard hash + striped lock + the
+  // guarded LfoCache access. Once warm it must add zero allocations on
+  // top of the single-cache guarantee above (the lock is pthread state,
+  // not heap traffic).
+  server::ShardedCacheConfig config;
+  config.capacity = 8 * 4096;
+  config.num_shards = 8;
+  config.features.num_gaps = 16;
+  server::ShardedLfoCache cache(config);
+  cache.swap_model(std::make_shared<core::LfoModel>(size_split_model(),
+                                                    config.features));
+
+  // Same steady-state workload as the single-cache tests, spread across
+  // shards by the hash: small objects admitted then permanently hit,
+  // large ones permanently bypassed.
+  std::vector<trace::Request> requests;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    requests.push_back(trace::Request{i, 50, 50.0});
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    requests.push_back(trace::Request{100 + i, 2000, 2000.0});
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& r : requests) cache.access(r);
+  }
+  ASSERT_EQ(cache.stats().hits, 10u);
+  ASSERT_EQ(cache.bypassed(), 10u);
+
+  const auto before = allocations();
+  for (int round = 0; round < 100; ++round) {
+    for (const auto& r : requests) cache.access(r);
+  }
+  expect_zero_allocations(allocations() - before,
+                          "ShardedLfoCache steady-state access");
   EXPECT_EQ(cache.stats().hits % 10, 0u);
   EXPECT_GE(cache.bypassed(), 5u * 102u);
 }

@@ -1,0 +1,372 @@
+// lfo::server suite: the sharded concurrent cache and its TCP front end.
+//
+//  - Equivalence: with num_shards == 1 the ShardedLfoCache reproduces a
+//    plain LfoCache replay decision-for-decision on the golden web
+//    trace, in bootstrap mode and with a trained model — and the same
+//    holds over a real socket with workers == 1 (the ISSUE 10
+//    correctness contract).
+//  - Rollout: install_candidate routes through the RolloutGuard, so the
+//    heuristic fallback still engages under a rejection storm and
+//    recovers on a healthy candidate, exactly as in the single-threaded
+//    windowed pipeline.
+//  - Stress (TSan target): concurrent mixed get/admit/expire traffic
+//    across shards with model swaps in flight; merged accounting must
+//    balance and byte occupancy stay within capacity.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/lfo_cache.hpp"
+#include "core/lfo_model.hpp"
+#include "core/rollout.hpp"
+#include "gbdt/gbdt.hpp"
+#include "obs/telemetry_server.hpp"
+#include "obs_test_util.hpp"
+#include "server/server.hpp"
+#include "server/sharded_cache.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace lfo;
+using testutil::golden_trace;
+using testutil::parse_http_response;
+
+server::ShardedCacheConfig one_shard_config(std::uint64_t capacity,
+                                            const features::FeatureConfig& f) {
+  server::ShardedCacheConfig config;
+  config.capacity = capacity;
+  config.num_shards = 1;
+  config.features = f;
+  return config;
+}
+
+/// A small trained model for the golden web trace (first window).
+std::shared_ptr<const core::LfoModel> golden_model(
+    const trace::Trace& trace, const core::LfoConfig& config) {
+  const auto trained = core::train_on_window(trace.window(0, 5000), config);
+  EXPECT_NE(trained.model, nullptr);
+  return trained.model;
+}
+
+core::LfoConfig golden_config() {
+  auto config = testutil::golden_lfo_config().lfo;
+  return config;
+}
+
+// ------------------------------------------------ decision equivalence
+
+TEST(ShardedEquivalence, OneShardBootstrapMatchesPlainCache) {
+  const auto trace = golden_trace("web");
+  const auto config = golden_config();
+  core::LfoCache plain(config.cache_size, config.features, config.cutoff);
+  server::ShardedLfoCache sharded(
+      one_shard_config(config.cache_size, config.features));
+
+  for (const auto& request : trace.requests()) {
+    const std::uint64_t expired_before = plain.stats().expired_hits;
+    const bool plain_hit = plain.access(request);
+    const bool plain_expired =
+        plain.stats().expired_hits != expired_before;
+    const auto result = sharded.access(request);
+    ASSERT_EQ(result.hit, plain_hit) << "object " << request.object;
+    ASSERT_EQ(result.expired, plain_expired) << "object " << request.object;
+  }
+  const auto merged = sharded.stats();
+  const auto& reference = plain.stats();
+  EXPECT_EQ(merged.requests, reference.requests);
+  EXPECT_EQ(merged.hits, reference.hits);
+  EXPECT_EQ(merged.bytes_requested, reference.bytes_requested);
+  EXPECT_EQ(merged.bytes_hit, reference.bytes_hit);
+  EXPECT_EQ(merged.expired_hits, reference.expired_hits);
+  EXPECT_EQ(sharded.bypassed(), plain.bypassed());
+  EXPECT_EQ(sharded.demoted_hits(), plain.demoted_hits());
+  EXPECT_EQ(sharded.used_bytes(), plain.used_bytes());
+}
+
+TEST(ShardedEquivalence, OneShardWithModelMatchesPlainCache) {
+  const auto trace = golden_trace("web");
+  const auto config = golden_config();
+  const auto model = golden_model(trace, config);
+  ASSERT_NE(model, nullptr);
+
+  core::LfoCache plain(config.cache_size, config.features, config.cutoff);
+  server::ShardedLfoCache sharded(
+      one_shard_config(config.cache_size, config.features));
+  plain.swap_model(model);
+  sharded.swap_model(model);
+  EXPECT_TRUE(sharded.has_model());
+
+  for (std::size_t i = 5000; i < trace.size(); ++i) {
+    const auto& request = trace[i];
+    const bool plain_hit = plain.access(request);
+    const auto result = sharded.access(request);
+    ASSERT_EQ(result.hit, plain_hit) << "request " << i;
+  }
+  EXPECT_EQ(sharded.stats().hits, plain.stats().hits);
+  EXPECT_EQ(sharded.bypassed(), plain.bypassed());
+  EXPECT_EQ(sharded.demoted_hits(), plain.demoted_hits());
+}
+
+TEST(ShardedCache, ShardingIsDeterministicAndCoversAllShards) {
+  features::FeatureConfig f;
+  server::ShardedCacheConfig config;
+  config.capacity = 8ULL << 20;
+  config.num_shards = 8;
+  config.features = f;
+  server::ShardedLfoCache cache(config);
+  std::vector<std::uint64_t> per_shard(8, 0);
+  for (std::uint64_t object = 0; object < 4000; ++object) {
+    const auto shard = cache.shard_of(object);
+    ASSERT_LT(shard, 8u);
+    ASSERT_EQ(shard, cache.shard_of(object)) << "unstable shard hash";
+    ++per_shard[shard];
+  }
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    // splitmix64 spreads dense ids: every shard sees a healthy share.
+    EXPECT_GT(per_shard[s], 4000u / 16) << "shard " << s << " starved";
+  }
+}
+
+// ------------------------------------------------ rollout guard fallback
+
+TEST(ShardedRollout, FallbackEngagesOnRejectionStormAndRecovers) {
+  const auto trace = golden_trace("web");
+  const auto config = golden_config();
+  const auto model = golden_model(trace, config);
+
+  server::ShardedCacheConfig sconfig;
+  sconfig.capacity = config.cache_size;
+  sconfig.features = config.features;
+  sconfig.num_shards = 4;
+  server::ShardedLfoCache cache(sconfig);
+
+  core::RolloutCandidate good;
+  good.train_accuracy = 0.9;
+  good.model_admit_share = 0.5;
+  good.opt_admit_share = 0.5;
+  good.feature_drift = 0.01;
+  auto bad = good;
+  bad.train_accuracy = 0.3;  // under every sensible gate
+
+  auto verdict = cache.install_candidate(good, model);
+  EXPECT_TRUE(verdict.activate);
+  EXPECT_TRUE(cache.has_model());
+  EXPECT_EQ(cache.rollout_state(), core::RolloutState::kServing);
+
+  // A storm of mistrained candidates: the guard rejects each, keeps the
+  // last-good model serving, then exhausts the rejection budget and
+  // clears every shard back to the heuristic — exactly the adversarial
+  // scenario the single-threaded pipeline survives.
+  const auto budget = sconfig.rollout.max_consecutive_rejections;
+  for (std::uint32_t i = 0; i + 1 < budget; ++i) {
+    verdict = cache.install_candidate(bad, model);
+    EXPECT_FALSE(verdict.activate);
+    EXPECT_TRUE(cache.has_model()) << "last-good model dropped early";
+  }
+  verdict = cache.install_candidate(bad, model);
+  EXPECT_TRUE(verdict.clear_model);
+  EXPECT_FALSE(cache.has_model());
+  EXPECT_EQ(cache.rollout_state(), core::RolloutState::kFallback);
+
+  // The heuristic keeps serving during fallback...
+  const auto before = cache.stats().requests;
+  (void)cache.access(trace[0]);
+  EXPECT_EQ(cache.stats().requests, before + 1);
+
+  // ...and a healthy candidate re-qualifies.
+  verdict = cache.install_candidate(good, model);
+  EXPECT_TRUE(verdict.activate);
+  EXPECT_TRUE(cache.has_model());
+  EXPECT_EQ(cache.rollout_state(), core::RolloutState::kServing);
+}
+
+// ------------------------------------------------ socket-level replay
+
+std::vector<server::WireDecision> replay_through_plain_cache(
+    const trace::Trace& trace, const core::LfoConfig& config) {
+  core::LfoCache plain(config.cache_size, config.features, config.cutoff);
+  std::vector<server::WireDecision> decisions;
+  decisions.reserve(trace.size());
+  for (const auto& request : trace.requests()) {
+    const std::uint64_t expired_before = plain.stats().expired_hits;
+    const bool hit = plain.access(request);
+    const bool expired = plain.stats().expired_hits != expired_before;
+    decisions.push_back(expired ? server::WireDecision::kExpired
+                        : hit   ? server::WireDecision::kHit
+                                : server::WireDecision::kMiss);
+  }
+  return decisions;
+}
+
+TEST(ServerEquivalence, OneWorkerOneShardMatchesSimulatorOverSocket) {
+  const auto trace = golden_trace("web");
+  const auto config = golden_config();
+  const auto reference = replay_through_plain_cache(trace, config);
+
+  server::LfoServerConfig sconfig;
+  sconfig.workers = 1;
+  sconfig.cache = one_shard_config(config.cache_size, config.features);
+  sconfig.telemetry = false;
+  server::LfoServer lfo_server(sconfig);
+  ASSERT_TRUE(lfo_server.start()) << lfo_server.last_error();
+
+  server::LfoClient client;
+  ASSERT_TRUE(client.connect(lfo_server.port()));
+  std::vector<server::WireDecision> decisions;
+  std::size_t checked = 0;
+  constexpr std::size_t kBatch = 333;  // deliberately odd-sized frames
+  for (std::size_t offset = 0; offset < trace.size(); offset += kBatch) {
+    const auto n = std::min(kBatch, trace.size() - offset);
+    ASSERT_TRUE(client.exchange(trace.window(offset, n), decisions));
+    ASSERT_EQ(decisions.size(), n);
+    for (std::size_t i = 0; i < n; ++i, ++checked) {
+      ASSERT_EQ(decisions[i], reference[checked])
+          << "decision diverged at request " << checked;
+    }
+  }
+  EXPECT_EQ(checked, trace.size());
+  const auto merged = lfo_server.cache().stats();
+  EXPECT_EQ(merged.requests, trace.size());
+  client.close();
+  lfo_server.stop();
+  EXPECT_FALSE(lfo_server.running());
+}
+
+TEST(ServerTelemetry, MetricsAndHealthzServeNextToTheCachePort) {
+  const auto config = golden_config();
+  server::LfoServerConfig sconfig;
+  sconfig.workers = 2;
+  sconfig.cache.capacity = config.cache_size;
+  sconfig.cache.features = config.features;
+  sconfig.cache.num_shards = 4;
+  server::LfoServer lfo_server(sconfig);
+  ASSERT_TRUE(lfo_server.start()) << lfo_server.last_error();
+#if LFO_METRICS_ENABLED
+  ASSERT_NE(lfo_server.telemetry_port(), 0) << lfo_server.last_error();
+
+  const auto trace = golden_trace("web");
+  server::LfoClient client;
+  ASSERT_TRUE(client.connect(lfo_server.port()));
+  std::vector<server::WireDecision> decisions;
+  ASSERT_TRUE(client.exchange(trace.window(0, 2000), decisions));
+  client.close();
+
+  const auto metrics = parse_http_response(
+      obs::fetch_local(lfo_server.telemetry_port(), "/metrics"));
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("lfo_server_requests_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("lfo_server_shards"), std::string::npos);
+
+  const auto health = parse_http_response(
+      obs::fetch_local(lfo_server.telemetry_port(), "/healthz"));
+  ASSERT_TRUE(health.ok);
+  EXPECT_EQ(health.status, 200) << "bootstrap must serve as healthy";
+#else
+  EXPECT_EQ(lfo_server.telemetry_port(), 0);
+#endif
+  lfo_server.stop();
+}
+
+TEST(ServerProtocol, OversizedFrameIsCountedAndConnectionClosed) {
+  server::LfoServerConfig sconfig;
+  sconfig.workers = 1;
+  sconfig.max_batch = 16;
+  sconfig.cache.capacity = 1ULL << 20;
+  sconfig.cache.num_shards = 1;
+  sconfig.telemetry = false;
+  server::LfoServer lfo_server(sconfig);
+  ASSERT_TRUE(lfo_server.start()) << lfo_server.last_error();
+
+  trace::GeneratorConfig gen;
+  gen.num_requests = 64;  // > max_batch: the server must refuse the frame
+  gen.classes = {trace::web_class(32)};
+  const auto trace = trace::generate_trace(gen);
+  server::LfoClient client;
+  ASSERT_TRUE(client.connect(lfo_server.port()));
+  std::vector<server::WireDecision> decisions;
+  EXPECT_FALSE(client.exchange(trace.window(0, trace.size()), decisions));
+  EXPECT_FALSE(client.connected());
+
+  // The server survives the bad frame and serves a fresh connection.
+  ASSERT_TRUE(client.connect(lfo_server.port()));
+  ASSERT_TRUE(client.exchange(trace.window(0, 8), decisions));
+  ASSERT_EQ(decisions.size(), 8u);
+  lfo_server.stop();
+}
+
+// ------------------------------------------------ concurrency stress
+
+// TSan target (ctest -L stress under the tsan preset): hammer the
+// sharded cache from several threads with mixed admit/hit/expire
+// traffic while a coordinator swaps the model in and out mid-flight.
+TEST(ShardedStress, ConcurrentMixedTrafficBalancesAccounting) {
+  const auto config = golden_config();
+  server::ShardedCacheConfig sconfig;
+  sconfig.capacity = 4ULL << 20;
+  sconfig.features = config.features;
+  sconfig.num_shards = 8;
+  server::ShardedLfoCache cache(sconfig);
+
+  const auto trace = golden_trace("web");
+  const auto model = golden_model(trace, config);
+
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::atomic<std::uint64_t> hits{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      trace::GeneratorConfig gen;
+      gen.seed = 500 + t;  // distinct streams, overlapping object space
+      gen.num_requests = kPerThread;
+      gen.classes = {trace::web_class(1000)};
+      const auto thread_trace = trace::generate_trace(gen);
+      std::uint64_t local_hits = 0;
+      std::uint64_t i = 0;
+      for (const auto& request : thread_trace.requests()) {
+        auto shaped = request;
+        shaped.ttl = 1 + i % 97;  // short TTLs force expiry churn
+        if (cache.access(shaped).hit) ++local_hits;
+        ++i;
+      }
+      hits.fetch_add(local_hits, std::memory_order_relaxed);
+    });
+  }
+  // Model churn while traffic is in flight: swap in, clear, swap again.
+  std::thread swapper([&] {
+    for (int round = 0; round < 20; ++round) {
+      cache.swap_model(model);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      cache.swap_model(nullptr);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& w : workers) w.join();
+  swapper.join();
+
+  const auto merged = cache.stats();
+  EXPECT_EQ(merged.requests, kThreads * kPerThread);
+  EXPECT_EQ(merged.hits, hits.load());
+  EXPECT_LE(merged.hits, merged.requests);
+  EXPECT_LE(cache.used_bytes(), cache.capacity());
+  // Quiescent now: the lock-free mirrors agree with the locked truth.
+  std::uint64_t mirrored = 0;
+  for (std::uint32_t s = 0; s < cache.num_shards(); ++s) {
+    mirrored += cache.shard_used_bytes(s);
+  }
+  EXPECT_EQ(mirrored, cache.used_bytes());
+  cache.clear();
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+}  // namespace

@@ -7,7 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <string>
 #include <thread>
@@ -199,6 +205,48 @@ TEST(TelemetryServer, ServesOverLoopbackAndStopsCleanly) {
                 obs::fetch_local(server.port(), "/healthz"))
                 .status,
             200);
+  server.stop();
+}
+
+// Regression: accept_loop used to serve each connection inline, so one
+// stalled client held the single accept thread hostage and every later
+// scrape — /healthz included — waited out the full io timeout behind
+// it. With the bounded handler pool a stalled peer pins one handler at
+// most and a concurrent /healthz answers promptly.
+TEST(TelemetryServer, SlowClientDoesNotBlockHealthz) {
+  obs::TelemetryServerConfig config;
+  config.io_timeout_seconds = 5.0;  // stalled client pins a handler 5s
+  config.handler_threads = 2;
+  obs::TelemetryServer server(std::move(config));
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  // A client that sends half a request head and then goes silent.
+  const int slow = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(slow, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(slow, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string partial = "GET /metrics HTTP/1.1\r\n";  // no blank line
+  ASSERT_EQ(::send(slow, partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+  // Give the pool a moment to hand the stalled connection to a handler.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto before = std::chrono::steady_clock::now();
+  const auto health =
+      parse_http_response(obs::fetch_local(server.port(), "/healthz"));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - before)
+          .count();
+  ASSERT_TRUE(health.ok) << "healthz did not answer behind a slow client";
+  EXPECT_EQ(health.status, 200);
+  EXPECT_LT(elapsed, 2.0) << "/healthz waited behind the stalled client";
+
+  ::close(slow);
   server.stop();
 }
 

@@ -118,8 +118,15 @@ def diff(baseline: dict, candidate: dict, threshold: float,
         old, new = base[key], cand[key]
         if old == new:
             continue
-        rel = (new - old) / abs(old) if old != 0 else math.inf
         moved += 1
+        if old == 0:
+            # No relative change is defined against a zero baseline, and
+            # "grew from 0" says nothing about serving speed (a metric
+            # that just started being emitted, or a counter that was
+            # simply off last run) — report it, never classify it.
+            print(f"{key}: {old:g} -> {new:g} (new from zero baseline)")
+            continue
+        rel = (new - old) / abs(old)
         marker = ""
         if is_throughput_key(key):
             if rel < -threshold:

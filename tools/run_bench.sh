@@ -12,6 +12,11 @@
 # / LRU, RolloutGuard transition counts, expired hits; exits nonzero if
 # the guarded-vs-heuristic robustness gate is violated).
 #
+# --server: the lfo::server worker-thread scaling curve ->
+# BENCH_server.json (aggregate reqs/s at 1/2/4/8 workers over the TCP
+# front end; the >=3x 1->4 scaling gate arms only on hosts with enough
+# cores for the workers plus their closed-loop clients).
+#
 # The human-readable CSV goes to stdout as usual. Pass a different
 # --json=<path> to relocate the JSON, or bench-specific flags (e.g.
 # --predict-requests=200000 for fig7, --min-serving-accuracy=0.7 for
@@ -41,6 +46,12 @@ for arg in "$@"; do
       JSON_OUT="BENCH_scenarios.json"
       BENCH_NAME="adversarial scenarios"
       REQUIRE_KEYS=""
+      ;;
+    --server)
+      TARGET="bench_server"
+      JSON_OUT="BENCH_server.json"
+      BENCH_NAME="server scaling"
+      REQUIRE_KEYS="server_reqs_per_sec_w1,server_reqs_per_sec_w4"
       ;;
     --json=*) JSON_OUT="${arg#--json=}" ;;
     *) EXTRA_ARGS+=("$arg") ;;

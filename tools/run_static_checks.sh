@@ -4,7 +4,7 @@
 #   tools/run_static_checks.sh [--skip-asan] [--skip-tsan] [--skip-tidy]
 #                              [--skip-obs] [--skip-faults] [--skip-perf]
 #                              [--skip-simd] [--skip-threadsafety]
-#                              [--skip-lint]
+#                              [--skip-lint] [--skip-server]
 #
 # Runs, in order:
 #   1. asan-ubsan preset: configure, build the test suite, run ctest under
@@ -42,7 +42,12 @@
 #      thread-safety preset, after first proving the analysis is armed
 #      on a known-good / known-bad fixture pair (skipped with a warning
 #      when clang++ is not installed).
-#   9. lfo_lint: tools/lfo_lint.py invariant rules (hot-path allocation
+#   9. server smoke: Release build of bench_server, then
+#      tools/server_smoke.sh — boots the sharded lfo::server front end in
+#      --linger mode, replays a trace through the closed-loop client,
+#      scrapes the mounted /metrics + /healthz from outside, pushes one
+#      raw wire-protocol frame, and requires a clean natural shutdown.
+#  10. lfo_lint: tools/lfo_lint.py invariant rules (hot-path allocation
 #      and locking, nondeterminism in decision code, side effects in
 #      LFO_CHECK arguments, obs metric-name conventions, no aborting
 #      checks in LFO_ENDPOINT_HANDLER bodies) over src/, plus its
@@ -66,6 +71,7 @@ SKIP_PERF=0
 SKIP_SIMD=0
 SKIP_THREADSAFETY=0
 SKIP_LINT=0
+SKIP_SERVER=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) SKIP_ASAN=1 ;;
@@ -77,6 +83,7 @@ for arg in "$@"; do
     --skip-simd) SKIP_SIMD=1 ;;
     --skip-threadsafety) SKIP_THREADSAFETY=1 ;;
     --skip-lint) SKIP_LINT=1 ;;
+    --skip-server) SKIP_SERVER=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -213,6 +220,13 @@ if [[ "$SKIP_THREADSAFETY" -eq 0 ]]; then
     cmake --preset thread-safety
     cmake --build build-threadsafety -j "$JOBS"
   fi
+fi
+
+if [[ "$SKIP_SERVER" -eq 0 ]]; then
+  banner "server smoke: Release bench_server + tools/server_smoke.sh"
+  cmake -S . -B build-perf -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-perf --target bench_server -j "$JOBS"
+  tools/server_smoke.sh ./build-perf/bench/bench_server
 fi
 
 if [[ "$SKIP_LINT" -eq 0 ]]; then
