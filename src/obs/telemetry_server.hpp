@@ -58,8 +58,9 @@ struct TelemetryServerConfig {
   /// (head-of-line blocking on the accept thread).
   std::uint32_t handler_threads = 2;
   /// Accepted-but-unserved backlog cap. Connections beyond it are
-  /// closed immediately (counted in lfo_telemetry_dropped_total)
-  /// rather than queued behind stalled peers.
+  /// closed immediately (counted in
+  /// lfo_telemetry_shed_connections_total) rather than queued behind
+  /// stalled peers.
   std::size_t max_pending_connections = 16;
 };
 

@@ -1,6 +1,7 @@
 #include "server/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -43,8 +44,11 @@ enum class ReadStatus { kOk, kClosed, kError };
 
 /// Read exactly `size` bytes. kClosed only when the peer closed before
 /// the first byte (a clean end-of-stream between frames); a mid-frame
-/// EOF or socket error is kError. Timeouts re-check `stop` so shutdown
-/// cannot hang on an idle connection.
+/// EOF or socket error is kError. With a `stop` flag, SO_RCVTIMEO
+/// expiries re-check it and keep waiting (a server connection may sit
+/// idle between frames for arbitrarily long, but shutdown must not
+/// hang); without one, the first expiry is a hard deadline — that is
+/// what makes LfoClient::connect(timeout_seconds) an actual timeout.
 ReadStatus read_exact(int fd, void* data, std::size_t size,
                       const std::atomic<bool>* stop) {
   char* p = static_cast<char*>(data);
@@ -56,10 +60,10 @@ ReadStatus read_exact(int fd, void* data, std::size_t size,
       continue;
     }
     if (n == 0) return got == 0 ? ReadStatus::kClosed : ReadStatus::kError;
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-      if (stop != nullptr && stop->load(std::memory_order_acquire)) {
-        return ReadStatus::kError;
-      }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (stop == nullptr) return ReadStatus::kError;  // deadline expired
+      if (stop->load(std::memory_order_acquire)) return ReadStatus::kError;
       continue;  // io timeout: poll the stop flag and keep waiting
     }
     return ReadStatus::kError;
@@ -77,6 +81,7 @@ LfoServer::~LfoServer() { stop(); }
 bool LfoServer::start() {
   if (listen_fd_ >= 0) return true;
   last_error_.clear();
+  telemetry_error_.clear();
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     last_error_ = std::string("socket: ") + std::strerror(errno);
@@ -96,6 +101,17 @@ bool LfoServer::start() {
   }
   if (::listen(fd, 64) != 0) {
     last_error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  // Every worker polls this fd (level-triggered), so one connection
+  // wakes them all; accept must be non-blocking so the losers get
+  // EAGAIN and fall back to polling instead of parking inside a
+  // blocking ::accept() where stop_ is invisible — stop() joins the
+  // workers before it closes the fd, so a parked worker is a deadlock.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    last_error_ = std::string("fcntl: ") + std::strerror(errno);
     ::close(fd);
     return false;
   }
@@ -125,8 +141,11 @@ bool LfoServer::start() {
     telemetry_ = std::make_unique<obs::TelemetryServer>(std::move(tconfig));
     if (!telemetry_->start()) {
       // Telemetry is best-effort (it is compiled out entirely under
-      // LFO_METRICS=OFF); the cache service still serves.
-      last_error_ = "telemetry: " + telemetry_->last_error();
+      // LFO_METRICS=OFF); the cache service still serves, so the
+      // failure is reported via telemetry_error(), never last_error()
+      // — a successful start() must leave last_error() empty.
+      telemetry_error_ = telemetry_->last_error();
+      LFO_COUNTER_INC("lfo_server_telemetry_start_failures_total");
     }
   }
 
@@ -159,9 +178,10 @@ std::uint16_t LfoServer::telemetry_port() const {
 }
 
 void LfoServer::worker_loop() {
-  // Every worker polls the shared listening socket; the kernel wakes one
-  // on each pending connection (same poll/stop idiom as the telemetry
-  // accept loop). A worker owns its accepted connection until the peer
+  // Every worker polls the shared listening socket (same poll/stop
+  // idiom as the telemetry accept loop); a pending connection may wake
+  // several idle workers, one wins the non-blocking accept and the rest
+  // see EAGAIN. A worker owns its accepted connection until the peer
   // closes, so concurrency = workers, and a worker's request stream is
   // processed strictly in order — the 1-worker equivalence contract.
   while (!stop_.load(std::memory_order_acquire)) {
@@ -171,7 +191,17 @@ void LfoServer::worker_loop() {
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready <= 0) continue;  // timeout or EINTR: re-check stop flag
     const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;  // another worker won the race
+    // EAGAIN: another worker won the race (the listen fd is
+    // non-blocking); also covers a connection aborted between poll
+    // and accept. Either way, go back to polling.
+    if (client < 0) continue;
+    // Linux accept() does not inherit O_NONBLOCK, but make it explicit:
+    // the per-connection path relies on blocking reads bounded by
+    // SO_RCVTIMEO, not on spinning.
+    const int cflags = ::fcntl(client, F_GETFL, 0);
+    if (cflags >= 0 && (cflags & O_NONBLOCK) != 0) {
+      ::fcntl(client, F_SETFL, cflags & ~O_NONBLOCK);
+    }
     LFO_COUNTER_INC("lfo_server_connections_total");
     serve_connection(client);
     ::close(client);

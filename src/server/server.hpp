@@ -86,7 +86,12 @@ class LfoServer {
   std::uint16_t port() const { return port_; }
   /// 0 when telemetry is disabled, compiled out, or failed to bind.
   std::uint16_t telemetry_port() const;
+  /// Reason start() returned false; empty after a successful start().
   const std::string& last_error() const { return last_error_; }
+  /// Empty unless telemetry was enabled but failed to come up — the
+  /// cache service still serves in that case (start() returns true and
+  /// last_error() stays empty), so operators check this separately.
+  const std::string& telemetry_error() const { return telemetry_error_; }
 
   /// The shared cache — model installs (install_candidate/swap_model)
   /// and merged stats are safe while the server is serving.
@@ -102,6 +107,7 @@ class LfoServer {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::string last_error_;
+  std::string telemetry_error_;
   std::atomic<bool> stop_{false};
   std::vector<std::thread> workers_;
   std::unique_ptr<obs::TelemetryServer> telemetry_;

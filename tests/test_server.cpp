@@ -15,7 +15,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -248,8 +254,11 @@ TEST(ServerTelemetry, MetricsAndHealthzServeNextToTheCachePort) {
   sconfig.cache.num_shards = 4;
   server::LfoServer lfo_server(sconfig);
   ASSERT_TRUE(lfo_server.start()) << lfo_server.last_error();
+  // A successful start() leaves last_error() empty even if telemetry
+  // had trouble — telemetry failures go to telemetry_error() instead.
+  EXPECT_TRUE(lfo_server.last_error().empty()) << lfo_server.last_error();
 #if LFO_METRICS_ENABLED
-  ASSERT_NE(lfo_server.telemetry_port(), 0) << lfo_server.last_error();
+  ASSERT_NE(lfo_server.telemetry_port(), 0) << lfo_server.telemetry_error();
 
   const auto trace = golden_trace("web");
   server::LfoClient client;
@@ -301,6 +310,80 @@ TEST(ServerProtocol, OversizedFrameIsCountedAndConnectionClosed) {
   ASSERT_TRUE(client.exchange(trace.window(0, 8), decisions));
   ASSERT_EQ(decisions.size(), 8u);
   lfo_server.stop();
+}
+
+// Regression (accept-race deadlock): a pending connection wakes every
+// idle worker off the level-triggered poll; only one wins accept. The
+// losers must get EAGAIN from the non-blocking listen fd and fall back
+// to polling — if accept were blocking they would park where stop_ is
+// invisible, and stop() (which joins workers before closing the fd)
+// would hang forever.
+TEST(ServerShutdown, StopJoinsAllWorkersAfterAcceptRaces) {
+  server::LfoServerConfig sconfig;
+  sconfig.workers = 4;
+  sconfig.cache.capacity = 1ULL << 20;
+  sconfig.cache.num_shards = 2;
+  sconfig.telemetry = false;
+  server::LfoServer lfo_server(sconfig);
+  ASSERT_TRUE(lfo_server.start()) << lfo_server.last_error();
+
+  trace::GeneratorConfig gen;
+  gen.num_requests = 32;
+  gen.classes = {trace::web_class(16)};
+  const auto trace = trace::generate_trace(gen);
+  std::vector<server::WireDecision> decisions;
+  // Several short-lived connections: each one races all idle workers.
+  for (int round = 0; round < 4; ++round) {
+    server::LfoClient client;
+    ASSERT_TRUE(client.connect(lfo_server.port()));
+    ASSERT_TRUE(client.exchange(trace.window(0, trace.size()), decisions));
+  }
+  // One more connection left open across stop(): its worker must bail
+  // out of the idle read via the stop flag, not wait for the peer.
+  server::LfoClient parked;
+  ASSERT_TRUE(parked.connect(lfo_server.port()));
+  const auto t0 = std::chrono::steady_clock::now();
+  lfo_server.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(lfo_server.running());
+  EXPECT_LT(elapsed, std::chrono::seconds(10)) << "stop() stalled on a worker";
+}
+
+// Regression (unbounded client read): a server that accepts the TCP
+// handshake but never replies must not hang exchange() — SO_RCVTIMEO
+// from connect(timeout_seconds) is a hard deadline on the client side,
+// not a retry hint.
+TEST(ClientTimeout, ExchangeFailsWhenServerNeverReplies) {
+  // A bare listening socket: the kernel completes the handshake and
+  // buffers the request frame, but nothing ever accepts or responds.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(fd, 4), 0);
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len),
+            0);
+
+  trace::GeneratorConfig gen;
+  gen.num_requests = 4;
+  gen.classes = {trace::web_class(8)};
+  const auto trace = trace::generate_trace(gen);
+
+  server::LfoClient client;
+  ASSERT_TRUE(client.connect(ntohs(bound.sin_port), /*timeout_seconds=*/0.25));
+  std::vector<server::WireDecision> decisions;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.exchange(trace.window(0, trace.size()), decisions));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5)) << "timeout never fired";
+  EXPECT_FALSE(client.connected());
+  ::close(fd);
 }
 
 // ------------------------------------------------ concurrency stress
